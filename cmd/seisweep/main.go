@@ -1,0 +1,180 @@
+// Command seisweep explores the SEI design space and emits CSV:
+// structure × crossbar size × device precision × programming
+// variation, with energy, area, efficiency, and (optionally)
+// simulated classification error per point.
+//
+// Usage:
+//
+//	seisweep [flags] > sweep.csv
+//
+// Examples:
+//
+//	seisweep -net 2 -sizes 512,256,128 -bits 3,4,5
+//	seisweep -net 1 -accuracy -train 2500 -test 300
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"sei"
+	"sei/internal/arch"
+	"sei/internal/experiments"
+	"sei/internal/nn"
+	"sei/internal/power"
+	"sei/internal/rram"
+	"sei/internal/seicore"
+)
+
+func main() {
+	var (
+		netID    = flag.Int("net", 2, "Table-2 network id (1-3)")
+		train    = flag.Int("train", 2000, "training samples")
+		test     = flag.Int("test", 300, "test samples (accuracy mode)")
+		epochs   = flag.Int("epochs", 4, "training epochs")
+		seed     = flag.Int64("seed", 1, "random seed")
+		sizes    = flag.String("sizes", "512,256,128", "crossbar sizes to sweep")
+		bits     = flag.String("bits", "4", "device bits to sweep")
+		sigmas   = flag.String("sigmas", "0.02", "programming sigmas to sweep")
+		accuracy = flag.Bool("accuracy", false, "also simulate classification error (slower)")
+	)
+	flag.Parse()
+
+	trainSet, testSet := sei.SyntheticSplit(*train, *test, *seed)
+	fmt.Fprintf(os.Stderr, "seisweep: training network %d on %d samples\n", *netID, trainSet.Len())
+	net := sei.TrainTableNetwork(*netID, trainSet, *epochs, *seed)
+	q, err := sei.Quantize(net, trainSet)
+	if err != nil {
+		fail(err)
+	}
+	geoms, err := arch.GeometryOf(q)
+	if err != nil {
+		fail(err)
+	}
+	lib := power.DefaultLibrary()
+
+	w := csv.NewWriter(os.Stdout)
+	header := []string{"network", "structure", "crossbar", "device_bits", "sigma",
+		"energy_uJ", "area_mm2", "gops_per_j", "latency_us", "throughput_kpics"}
+	if *accuracy {
+		header = append(header, "error_pct")
+	}
+	must(w.Write(header))
+
+	for _, size := range parseInts(*sizes) {
+		for _, b := range parseInts(*bits) {
+			for _, sigma := range parseFloats(*sigmas) {
+				for _, s := range []seicore.Structure{seicore.StructDACADC, seicore.StructOneBitADC, seicore.StructSEI} {
+					cfg := arch.DefaultConfig(s)
+					cfg.MaxCrossbar = size
+					m, err := arch.Map(geoms, cfg)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "seisweep: skipping %v@%d: %v\n", s, size, err)
+						continue
+					}
+					_, e := m.Energy(lib)
+					_, a := m.Area(lib)
+					tm, err := m.Timing(arch.DefaultTimingConfig())
+					if err != nil {
+						fail(err)
+					}
+					row := []string{
+						strconv.Itoa(*netID), s.String(), strconv.Itoa(size),
+						strconv.Itoa(b), fmt.Sprintf("%g", sigma),
+						fmt.Sprintf("%.4f", power.MicroJoules(e)),
+						fmt.Sprintf("%.5f", power.SquareMM(a)),
+						fmt.Sprintf("%.1f", m.Efficiency(lib)),
+						fmt.Sprintf("%.2f", tm.LatencyNS/1000),
+						fmt.Sprintf("%.1f", tm.ThroughputPicsPerSec/1000),
+					}
+					if *accuracy {
+						errRate, err := simulateError(net, q, trainSet, testSet, s, size, b, sigma, *seed)
+						if err != nil {
+							fail(err)
+						}
+						row = append(row, fmt.Sprintf("%.2f", 100*errRate))
+					}
+					must(w.Write(row))
+				}
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fail(err)
+	}
+}
+
+// simulateError runs the functional hardware simulation for one design
+// point.
+func simulateError(net *sei.Network, q *sei.QuantizedNet, trainSet, testSet *sei.Dataset,
+	s seicore.Structure, size, bits int, sigma float64, seed int64) (float64, error) {
+	model := rram.IdealDeviceModel(bits)
+	model.ProgramSigma = sigma
+	rng := rand.New(rand.NewSource(seed))
+	switch s {
+	case seicore.StructDACADC:
+		d, err := seicore.BuildDACADC(net, []int{1, 28, 28}, model, rng)
+		if err != nil {
+			return 0, err
+		}
+		return nn.ClassifierErrorRate(d, testSet), nil
+	case seicore.StructOneBitADC:
+		d, err := seicore.BuildOneBitADC(q, model, rng)
+		if err != nil {
+			return 0, err
+		}
+		return nn.ClassifierErrorRate(d, testSet), nil
+	case seicore.StructSEI:
+		cfg := seicore.DefaultSEIBuildConfig()
+		cfg.Layer.Model = model
+		cfg.Layer.MaxCrossbar = size
+		cfg.Orders = experiments.HomogenizedOrdersFor(q, size, seed)
+		d, err := seicore.BuildSEI(q, trainSet, cfg, rng)
+		if err != nil {
+			return 0, err
+		}
+		return nn.ClassifierErrorRate(d, testSet), nil
+	}
+	return 0, fmt.Errorf("unknown structure %v", s)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fail(fmt.Errorf("bad int %q", p))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			fail(fmt.Errorf("bad float %q", p))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "seisweep: %v\n", err)
+	os.Exit(1)
+}

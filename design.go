@@ -1,0 +1,170 @@
+package sei
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sei/internal/arch"
+	"sei/internal/experiments"
+	"sei/internal/power"
+	"sei/internal/quant"
+	"sei/internal/rram"
+	"sei/internal/seicore"
+	"sei/internal/snn"
+)
+
+// DefaultDeviceModel returns the paper's 4-bit RRAM device with mild
+// programming variation.
+func DefaultDeviceModel() DeviceModel { return rram.DefaultDeviceModel() }
+
+// IdealDeviceModel returns a noiseless device with the given
+// programming precision, for what-if studies.
+func IdealDeviceModel(bits int) DeviceModel { return rram.IdealDeviceModel(bits) }
+
+// BuildOptions configures BuildDesign.
+type BuildOptions struct {
+	// Device is the RRAM model (defaults to DefaultDeviceModel).
+	Device DeviceModel
+	// MaxCrossbar is the physical array limit (default 512).
+	MaxCrossbar int
+	// Unipolar selects the Section-4.2 linear-transform realization for
+	// devices that cannot take negative inputs.
+	Unipolar bool
+	// DynamicThreshold enables the Section-4.3 split compensation
+	// (requires a training set).
+	DynamicThreshold bool
+	// Order selects how split layers' rows are arranged across blocks.
+	Order OrderStrategy
+	Seed  int64
+}
+
+// OrderStrategy selects the row ordering for split layers.
+type OrderStrategy int
+
+const (
+	// OrderHomogenized runs the GA homogenization (the paper's method).
+	OrderHomogenized OrderStrategy = iota
+	// OrderNatural keeps the training-time row order.
+	OrderNatural
+	// OrderRandom draws a seeded random permutation — the Table-4
+	// "Random Order Splitting" condition.
+	OrderRandom
+)
+
+// DefaultBuildOptions mirrors the paper's SEI setup.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		Device:           rram.DefaultDeviceModel(),
+		MaxCrossbar:      rram.MaxCrossbarSize,
+		DynamicThreshold: true,
+		Order:            OrderHomogenized,
+		Seed:             1,
+	}
+}
+
+// BuildDesign maps a quantized network onto SEI hardware with explicit
+// options. train may be nil when DynamicThreshold is false.
+func BuildDesign(q *QuantizedNet, train *Dataset, opt BuildOptions) (*SEIDesign, error) {
+	if opt.MaxCrossbar == 0 {
+		opt.MaxCrossbar = rram.MaxCrossbarSize
+	}
+	if opt.Device.Bits == 0 {
+		opt.Device = rram.DefaultDeviceModel()
+	}
+	cfg := seicore.DefaultSEIBuildConfig()
+	cfg.Layer.Model = opt.Device
+	cfg.Layer.MaxCrossbar = opt.MaxCrossbar
+	if opt.Unipolar {
+		cfg.Layer.Mode = seicore.ModeUnipolarDynamic
+	}
+	cfg.DynamicThreshold = opt.DynamicThreshold
+	if opt.DynamicThreshold && train == nil {
+		return nil, fmt.Errorf("sei: dynamic threshold calibration needs a training set")
+	}
+	switch opt.Order {
+	case OrderHomogenized:
+		cfg.Orders = experiments.HomogenizedOrdersFor(q, opt.MaxCrossbar, opt.Seed)
+	case OrderRandom:
+		cfg.Orders = experiments.RandomOrdersFor(q, opt.MaxCrossbar, opt.Seed)
+	case OrderNatural:
+		// nil orders: natural.
+	default:
+		return nil, fmt.Errorf("sei: unknown order strategy %d", opt.Order)
+	}
+	return seicore.BuildSEI(q, train, cfg, rand.New(rand.NewSource(opt.Seed)))
+}
+
+// SpikingErrorRate evaluates the quantized network on rate-coded
+// (1-bit, DAC-free) spiking input over the given timestep budget —
+// the Section-6 SNN direction. design may be a hardware design built
+// with BuildDesign, or nil to use the exact digital evaluator.
+func SpikingErrorRate(q *QuantizedNet, design *SEIDesign, data *Dataset, timesteps int, seed int64) (float64, error) {
+	var eval quant.StageEval = q.Digital()
+	if design != nil {
+		eval = design
+	}
+	return snn.ErrorRate(q, eval, data, snn.Config{
+		Timesteps:   timesteps,
+		Aggregation: snn.SumScores,
+		Seed:        seed,
+	})
+}
+
+// DeploymentCost estimates the one-time energy of programming a
+// quantized network's weights onto SEI crossbars under the
+// program-and-verify write model (the paper's [13]): total µJ, mean
+// pulses per cell, and the cell count.
+func DeploymentCost(q *QuantizedNet, model DeviceModel) (energyUJ, pulsesPerCell float64, cells int64) {
+	geoms, err := arch.GeometryOf(q)
+	if err != nil {
+		return 0, 0, 0
+	}
+	for _, g := range geoms {
+		cells += 4 * int64(g.N) * int64(g.M) // pos/neg × hi/lo at 4-bit devices
+	}
+	cfg := rram.DefaultWriteConfig()
+	pulsesPerCell = rram.ExpectedPulses(model, cfg)
+	energyUJ = rram.DeploymentEnergyPJ(cells, model, cfg) * 1e-6
+	return energyUJ, pulsesPerCell, cells
+}
+
+// DesignCosts summarizes the mapper's energy/area result for one
+// structure.
+type DesignCosts struct {
+	Structure Structure
+	EnergyUJ  float64
+	AreaMM2   float64
+	GOPsPerJ  float64
+	// InterfaceEnergyFraction is the DAC+ADC share of the energy.
+	InterfaceEnergyFraction float64
+}
+
+// MapCosts computes a network's per-picture energy, area and
+// efficiency under each of the three structures at the given crossbar
+// size.
+func MapCosts(q *QuantizedNet, maxCrossbar int) ([]DesignCosts, error) {
+	geoms, err := arch.GeometryOf(q)
+	if err != nil {
+		return nil, err
+	}
+	lib := power.DefaultLibrary()
+	var out []DesignCosts
+	for _, s := range []Structure{StructDACADC, StructOneBitADC, StructSEI} {
+		cfg := arch.DefaultConfig(s)
+		cfg.MaxCrossbar = maxCrossbar
+		m, err := arch.Map(geoms, cfg)
+		if err != nil {
+			return nil, err
+		}
+		_, e := m.Energy(lib)
+		_, a := m.Area(lib)
+		out = append(out, DesignCosts{
+			Structure:               s,
+			EnergyUJ:                power.MicroJoules(e),
+			AreaMM2:                 power.SquareMM(a),
+			GOPsPerJ:                m.Efficiency(lib),
+			InterfaceEnergyFraction: e.InterfaceFraction(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package sei
+
+import (
+	"testing"
+)
+
+var designFixture struct {
+	train, test *Dataset
+	net         *Network
+	q           *QuantizedNet
+}
+
+func designFix(t *testing.T) (*QuantizedNet, *Dataset, *Dataset) {
+	t.Helper()
+	if designFixture.q == nil {
+		designFixture.train, designFixture.test = SyntheticSplit(1200, 200, 21)
+		designFixture.net = TrainTableNetwork(2, designFixture.train, 3, 5)
+		q, err := Quantize(designFixture.net, designFixture.train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		designFixture.q = q
+	}
+	return designFixture.q, designFixture.train, designFixture.test
+}
+
+func TestBuildDesignDefaults(t *testing.T) {
+	q, train, test := designFix(t)
+	d, err := BuildDesign(q, train, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := EvaluateDesign(d, test)
+	digital := EvaluateQuantized(q, test)
+	t.Logf("digital %.4f sei %.4f", digital, e)
+	if e > digital+0.08 {
+		t.Fatalf("SEI error %.4f far above digital %.4f", e, digital)
+	}
+}
+
+func TestBuildDesignZeroValuesFilled(t *testing.T) {
+	q, train, _ := designFix(t)
+	opt := BuildOptions{DynamicThreshold: true, Order: OrderHomogenized, Seed: 1}
+	if _, err := BuildDesign(q, train, opt); err != nil {
+		t.Fatalf("zero-value device/crossbar not defaulted: %v", err)
+	}
+}
+
+func TestBuildDesignValidation(t *testing.T) {
+	q, _, _ := designFix(t)
+	opt := DefaultBuildOptions()
+	opt.DynamicThreshold = true
+	if _, err := BuildDesign(q, nil, opt); err == nil {
+		t.Fatal("dynamic threshold without training set accepted")
+	}
+	opt = DefaultBuildOptions()
+	opt.Order = OrderStrategy(9)
+	opt.DynamicThreshold = false
+	if _, err := BuildDesign(q, nil, opt); err == nil {
+		t.Fatal("unknown order strategy accepted")
+	}
+}
+
+func TestBuildDesignUnipolar(t *testing.T) {
+	q, train, test := designFix(t)
+	opt := DefaultBuildOptions()
+	opt.Unipolar = true
+	d, err := BuildDesign(q, train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := EvaluateDesign(d, test)
+	digital := EvaluateQuantized(q, test)
+	if e > digital+0.10 {
+		t.Fatalf("unipolar SEI error %.4f far above digital %.4f", e, digital)
+	}
+}
+
+func TestBuildDesignOrderStrategiesDiffer(t *testing.T) {
+	q, _, test := designFix(t)
+	opt := DefaultBuildOptions()
+	opt.MaxCrossbar = 64 // force conv splitting so order matters
+	opt.DynamicThreshold = false
+	build := func(o OrderStrategy) int {
+		opt.Order = o
+		d, err := BuildDesign(q, nil, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Convs[0].K
+	}
+	if build(OrderNatural) < 2 {
+		t.Fatal("crossbar 64 did not force a split")
+	}
+	// All strategies must build; functional differences are covered by
+	// the experiments tests.
+	for _, o := range []OrderStrategy{OrderNatural, OrderRandom, OrderHomogenized} {
+		opt.Order = o
+		d, err := BuildDesign(q, nil, opt)
+		if err != nil {
+			t.Fatalf("order %d failed: %v", o, err)
+		}
+		if e := EvaluateDesign(d, test.Subset(50)); e > 0.9 {
+			t.Fatalf("order %d produced degenerate design (err %.2f)", o, e)
+		}
+	}
+}
+
+func TestMapCostsShape(t *testing.T) {
+	q, _, _ := designFix(t)
+	costs, err := MapCosts(q, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 {
+		t.Fatalf("got %d cost rows", len(costs))
+	}
+	base, sein := costs[0], costs[2]
+	if base.Structure != StructDACADC || sein.Structure != StructSEI {
+		t.Fatal("cost row order wrong")
+	}
+	if sein.EnergyUJ >= base.EnergyUJ*0.1 {
+		t.Fatalf("SEI energy %.3f not ≪ baseline %.3f", sein.EnergyUJ, base.EnergyUJ)
+	}
+	if base.InterfaceEnergyFraction < 0.98 {
+		t.Fatalf("baseline interface fraction %.4f", base.InterfaceEnergyFraction)
+	}
+}
+
+func TestSpikingErrorRateConverges(t *testing.T) {
+	q, _, test := designFix(t)
+	sub := test.Subset(80)
+	one, err := SpikingErrorRate(q, nil, sub, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SpikingErrorRate(q, nil, sub, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analog := EvaluateQuantized(q, sub)
+	t.Logf("spiking: 1 step %.4f, 12 steps %.4f, analog %.4f", one, many, analog)
+	if many > one+0.03 {
+		t.Fatalf("more timesteps made spiking worse: %.4f vs %.4f", many, one)
+	}
+	if many > analog+0.12 {
+		t.Fatalf("12-step spiking error %.4f far above analog %.4f", many, analog)
+	}
+}
+
+func TestSpikingErrorRateOnHardware(t *testing.T) {
+	q, train, test := designFix(t)
+	d, err := BuildDesign(q, train, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := SpikingErrorRate(q, d, test.Subset(60), 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e > 0.6 {
+		t.Fatalf("hardware spiking error %.4f implausibly high", e)
+	}
+}
+
+func TestDeploymentCost(t *testing.T) {
+	q, _, _ := designFix(t)
+	// Network 2: (9·4 + 36·8 + 200·10)·4 cells.
+	wantCells := int64(4 * (9*4 + 36*8 + 200*10))
+	ideal := IdealDeviceModel(4)
+	uj, pulses, cells := DeploymentCost(q, ideal)
+	if cells != wantCells {
+		t.Fatalf("cells %d, want %d", cells, wantCells)
+	}
+	if pulses != 1 {
+		t.Fatalf("ideal pulses %v, want 1", pulses)
+	}
+	if uj <= 0 {
+		t.Fatal("no deployment energy")
+	}
+	noisy := ideal
+	noisy.ProgramSigma = 0.1
+	uj2, pulses2, _ := DeploymentCost(q, noisy)
+	if pulses2 <= pulses || uj2 <= uj {
+		t.Fatal("variation did not raise the write cost")
+	}
+}
+
+func TestDeviceModelHelpers(t *testing.T) {
+	if DefaultDeviceModel().Bits != 4 {
+		t.Fatal("default device not 4-bit")
+	}
+	m := IdealDeviceModel(6)
+	if m.Bits != 6 || m.ProgramSigma != 0 {
+		t.Fatal("ideal device wrong")
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: the whole paper in one call — train a Table-2 CNN on
+// the synthetic MNIST task, quantize its intermediate data to 1 bit
+// (Algorithm 1), map it onto SEI crossbars, and compare accuracy,
+// energy and area against the traditional DAC+ADC design.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sei"
+)
+
+func main() {
+	cfg := sei.DefaultPipelineConfig()
+	cfg.Log = os.Stderr // watch progress
+
+	res, err := sei.RunPipeline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SEI quickstart (Network 2, synthetic MNIST)")
+	fmt.Printf("  classification error:\n")
+	fmt.Printf("    float CNN          %5.2f%%\n", 100*res.FloatError)
+	fmt.Printf("    1-bit quantized    %5.2f%%\n", 100*res.QuantError)
+	fmt.Printf("    SEI hardware       %5.2f%%\n", 100*res.SEIError)
+	fmt.Printf("  per-picture energy:\n")
+	fmt.Printf("    DAC+ADC baseline   %8.3f uJ\n", res.BaseEnergyUJ)
+	fmt.Printf("    SEI                %8.3f uJ  (%.1f%% saving)\n", res.EnergyUJ, 100*res.EnergySaving)
+	fmt.Printf("  chip area:\n")
+	fmt.Printf("    DAC+ADC baseline   %8.4f mm2\n", res.BaseAreaMM2)
+	fmt.Printf("    SEI                %8.4f mm2  (%.1f%% saving)\n", res.AreaMM2, 100*res.AreaSaving)
+	fmt.Printf("  SEI efficiency: %.0f GOPs/J\n", res.GOPsPerJ)
+}

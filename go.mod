@@ -1,0 +1,3 @@
+module sei
+
+go 1.22

@@ -1,0 +1,395 @@
+// Package arch maps a CNN onto one of the paper's three crossbar
+// organizations (Table 5) and produces the per-picture usage counts
+// and module inventories that package power turns into the Fig.-1
+// breakdown, the Table-5 energy/area columns, and the GOPs/J
+// efficiency figure.
+//
+// Accounting model (DESIGN.md §2 records the assumptions):
+//   - DAC conversions happen per crossbar row per evaluation: each of
+//     a layer's N rows is re-driven for every output position, so an
+//     analog-input layer costs Uses·N conversions per picture. With
+//     the calibrated library this reproduces the paper's "input layer
+//     DACs cost about 3% energy" observation on Network 1.
+//   - ADC conversions happen per crossbar column per evaluation: a
+//     layer evaluated at `Uses` output positions with R row-blocks and
+//     four sign/precision crossbars costs Uses·M·4·R conversions.
+//   - The area baseline builds each layer's crossbars once and reuses
+//     them across feature-map positions (the paper's area baseline).
+package arch
+
+import (
+	"fmt"
+
+	"sei/internal/power"
+	"sei/internal/quant"
+	"sei/internal/rram"
+	"sei/internal/seicore"
+)
+
+// LayerGeom is the mapping-relevant geometry of one logical layer.
+type LayerGeom struct {
+	Name string
+	// N and M are the logical weight-matrix dimensions (inputs ×
+	// outputs), e.g. 300×64 for Network 1's Conv 2.
+	N, M int
+	// Uses is how many times the matrix is evaluated per picture
+	// (output feature-map positions; 1 for FC).
+	Uses int
+	// UniqueInputs is the number of distinct input values per picture
+	// (DAC conversions under sample-and-hold reuse).
+	UniqueInputs int
+	// OutValues is the number of output values buffered per picture.
+	OutValues int
+	// InC, InW, KH and PoolSize describe the spatial streaming
+	// geometry (input channels and feature-map width, kernel height,
+	// pool window) used by the line-buffer sizing; zero for FC layers.
+	InC, InW, KH, PoolSize int
+	// OutW is the output feature-map width (before pooling).
+	OutW int
+	// IsFC marks the final classifier layer.
+	IsFC bool
+}
+
+// LineBufferValues returns how many values the layer needs resident
+// when the design streams feature maps through line buffers instead of
+// storing them whole — the "register buffer design in Conv layers" the
+// paper's Section 6 plans: KH input rows for the sliding window plus
+// PoolSize output rows for the pooling reduction.
+func (g LayerGeom) LineBufferValues() int {
+	if g.IsFC {
+		return g.N + g.M // the flattened input vector and the scores
+	}
+	in := g.InC * g.InW * g.KH
+	out := 0
+	if g.PoolSize > 1 {
+		out = g.M * g.OutW * g.PoolSize
+	}
+	return in + out
+}
+
+// Ops returns the layer's operation count per picture (2 per MAC).
+func (g LayerGeom) Ops() int64 {
+	return 2 * int64(g.N) * int64(g.M) * int64(g.Uses)
+}
+
+// GeometryOf derives the layer geometries of a quantized network.
+func GeometryOf(q *quant.QuantizedNet) ([]LayerGeom, error) {
+	if len(q.InShape) != 3 {
+		return nil, fmt.Errorf("arch: input shape %v, want 3-D", q.InShape)
+	}
+	c, h, w := q.InShape[0], q.InShape[1], q.InShape[2]
+	var geoms []LayerGeom
+	for l := range q.Convs {
+		cs := &q.Convs[l]
+		kh, kw := cs.W.Dim(2), cs.W.Dim(3)
+		outH := (h-kh)/cs.Stride + 1
+		outW := (w-kw)/cs.Stride + 1
+		if outH <= 0 || outW <= 0 {
+			return nil, fmt.Errorf("arch: conv stage %d input %dx%d smaller than kernel", l, h, w)
+		}
+		g := LayerGeom{
+			Name:         fmt.Sprintf("Conv %d", l+1),
+			N:            cs.FanIn(),
+			M:            cs.Filters(),
+			Uses:         outH * outW,
+			UniqueInputs: c * h * w,
+			OutValues:    cs.Filters() * outH * outW,
+			InC:          c,
+			InW:          w,
+			KH:           kh,
+			PoolSize:     cs.PoolSize,
+			OutW:         outW,
+		}
+		geoms = append(geoms, g)
+		c, h, w = cs.Filters(), outH, outW
+		if cs.PoolSize > 1 {
+			h /= cs.PoolSize
+			w /= cs.PoolSize
+		}
+	}
+	fcIn := q.FC.W.Dim(1)
+	if c*h*w != fcIn {
+		return nil, fmt.Errorf("arch: conv stages produce %d values but FC expects %d", c*h*w, fcIn)
+	}
+	geoms = append(geoms, LayerGeom{
+		Name:         "FC",
+		N:            fcIn,
+		M:            q.FC.W.Dim(0),
+		Uses:         1,
+		UniqueInputs: fcIn,
+		OutValues:    q.FC.W.Dim(0),
+		IsFC:         true,
+	})
+	return geoms, nil
+}
+
+// Config selects the hardware organization.
+type Config struct {
+	Structure   seicore.Structure
+	MaxCrossbar int
+	// DynamicThreshold adds the SEI dynamic-threshold column (one extra
+	// RRAM column per split crossbar).
+	DynamicThreshold bool
+	// Mode selects the SEI signed-weight realization (cells per
+	// weight).
+	Mode seicore.SignedMode
+	// LineBuffers sizes the inter-layer buffers as streaming line
+	// buffers (KH input rows + PoolSize output rows) instead of whole
+	// feature maps — the Section-6 "register buffer design". Access
+	// counts (energy) are unchanged; only resident capacity (area)
+	// shrinks.
+	LineBuffers bool
+}
+
+// DefaultConfig returns the paper's default setup for a structure.
+func DefaultConfig(s seicore.Structure) Config {
+	return Config{
+		Structure:        s,
+		MaxCrossbar:      rram.MaxCrossbarSize,
+		DynamicThreshold: s == seicore.StructSEI,
+		Mode:             seicore.ModeBipolar,
+	}
+}
+
+// LayerCost is the mapped cost of one layer.
+type LayerCost struct {
+	Geom      LayerGeom
+	RowBlocks int
+	Crossbars int64
+	Counts    power.Counts
+	Inventory power.Inventory
+}
+
+// Mapping is a fully mapped network.
+type Mapping struct {
+	Config Config
+	Layers []LayerCost
+}
+
+// Map computes the per-layer costs of the geometry under the given
+// organization. The picture fetch (DRAM) is charged to the first
+// layer.
+func Map(geoms []LayerGeom, cfg Config) (*Mapping, error) {
+	if cfg.MaxCrossbar <= 0 || cfg.MaxCrossbar > rram.MaxCrossbarSize {
+		return nil, fmt.Errorf("arch: max crossbar size %d outside (0,%d]", cfg.MaxCrossbar, rram.MaxCrossbarSize)
+	}
+	if len(geoms) == 0 {
+		return nil, fmt.Errorf("arch: empty geometry")
+	}
+	m := &Mapping{Config: cfg}
+	for i, g := range geoms {
+		var (
+			lc  LayerCost
+			err error
+		)
+		switch cfg.Structure {
+		case seicore.StructDACADC:
+			lc, err = mapMerged(g, cfg, true)
+		case seicore.StructOneBitADC:
+			lc, err = mapMerged(g, cfg, i == 0)
+		case seicore.StructSEI:
+			lc, err = mapSEI(g, cfg, i == 0)
+		default:
+			return nil, fmt.Errorf("arch: unknown structure %v", cfg.Structure)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("arch: layer %s: %w", g.Name, err)
+		}
+		if i == 0 {
+			// Picture fetch from off-chip memory (8-bit pixels).
+			lc.Counts.DRAMBytes += int64(g.UniqueInputs)
+		}
+		m.Layers = append(m.Layers, lc)
+	}
+	return m, nil
+}
+
+// ceilDiv is integer ceiling division.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// mapMerged costs one layer in the ADC-merged organization (Fig. 2b):
+// four crossbars per tile (pos/neg × high/low nibble), per-column
+// ADCs, digital shift/add/subtract merge. analogInput selects whether
+// the layer is fed by DACs (8-bit data) or by 1-bit gates.
+func mapMerged(g LayerGeom, cfg Config, analogInput bool) (LayerCost, error) {
+	s := cfg.MaxCrossbar
+	rB := ceilDiv(g.N, s)
+	if g.M > s {
+		// Column splitting is free of merging (independent outputs) but
+		// still bounded by fabrication; none of the paper's layers hit
+		// this, and the counts below scale per output column anyway.
+		return LayerCost{}, fmt.Errorf("%d output columns exceed crossbar width %d", g.M, s)
+	}
+	uses, n, mm := int64(g.Uses), int64(g.N), int64(g.M)
+	lc := LayerCost{Geom: g, RowBlocks: rB, Crossbars: int64(4 * rB)}
+	c := &lc.Counts
+	if analogInput {
+		c.DACConversions = uses * n
+	}
+	c.ADCConversions = uses * mm * 4 * int64(rB)
+	c.CellReads = uses * 4 * n * mm
+	c.RowDrives = uses * 4 * n
+	// Merge per output per use: two shifts (high nibbles ×2⁴), two adds
+	// (hi+lo per sign), one subtract (pos − neg), per row-block; plus
+	// row-block accumulation and the ReLU/pool compare.
+	c.Shifts = uses * mm * 2 * int64(rB)
+	c.Adds = uses*mm*(2*int64(rB)+int64(rB-1)) + uses*mm
+	c.Subs = uses * mm * int64(rB)
+	// The DAC+ADC design buffers 8-bit intermediate data; the quantized
+	// designs buffer single bits.
+	dataBits := int64(8)
+	if cfg.Structure != seicore.StructDACADC {
+		dataBits = 1
+	}
+	c.BufferBytes = ceil64(int64(g.OutValues)*dataBits, 8) * 2 // write + read
+
+	v := &lc.Inventory
+	if analogInput {
+		v.DACs = n
+	}
+	v.ADCs = 4 * int64(rB) * mm
+	v.Cells = 4 * n * mm
+	v.DriverRows = 4 * n
+	v.Crossbars = lc.Crossbars
+	v.DigitalBlocks = lc.Crossbars
+	v.BufferBytes = inventoryBufferBytes(g, cfg, dataBits)
+	return lc, nil
+}
+
+// inventoryBufferBytes sizes a layer's resident inter-layer buffer.
+func inventoryBufferBytes(g LayerGeom, cfg Config, dataBits int64) int64 {
+	values := int64(g.OutValues)
+	if cfg.LineBuffers {
+		values = int64(g.LineBufferValues())
+	}
+	return ceil64(values*dataBits, 8)
+}
+
+// mapSEI costs one layer in the SEI organization. The input layer
+// (inputStage) keeps DACs and analog-merged crossbars but reads out
+// through sense amplifiers (its output is immediately binarized);
+// deeper conv layers are SEI crossbars with SA readout and digital
+// count thresholds; the FC layer is SEI with per-block column ADCs
+// whose results are summed digitally for the argmax.
+func mapSEI(g LayerGeom, cfg Config, inputStage bool) (LayerCost, error) {
+	s := cfg.MaxCrossbar
+	cells := cfg.Mode.CellsPerWeight()
+	uses, n, mm := int64(g.Uses), int64(g.N), int64(g.M)
+
+	if inputStage && !g.IsFC {
+		if g.N > s {
+			return LayerCost{}, fmt.Errorf("input layer with %d rows cannot merge analog across row blocks (max %d)", g.N, s)
+		}
+		lc := LayerCost{Geom: g, RowBlocks: 1, Crossbars: 4}
+		c := &lc.Counts
+		c.DACConversions = uses * n
+		c.SAEvaluations = uses * mm
+		c.CellReads = uses * 4 * n * mm
+		c.RowDrives = uses * 4 * n
+		c.Adds = uses * mm // pool OR tree
+		c.BufferBytes = ceil64(int64(g.OutValues), 8) * 2
+		v := &lc.Inventory
+		v.DACs = n
+		v.SAs = mm
+		v.Cells = 4 * n * mm
+		v.DriverRows = 4 * n
+		v.Crossbars = 4
+		v.DigitalBlocks = 4 // analog merge network + OR pool
+		v.BufferBytes = inventoryBufferBytes(g, cfg, 1)
+		return lc, nil
+	}
+
+	if g.M+1 > s {
+		return LayerCost{}, fmt.Errorf("%d output columns (+ threshold column) exceed crossbar width %d", g.M, s)
+	}
+	k := seicore.BlocksFor(g.N, cells, s)
+	lc := LayerCost{Geom: g, RowBlocks: k, Crossbars: int64(k)}
+	c := &lc.Counts
+	c.CellReads = uses * int64(cells) * n * mm
+	c.RowDrives = uses * int64(cells) * n
+	extraCols := int64(0)
+	if cfg.DynamicThreshold || cfg.Mode == seicore.ModeUnipolarDynamic {
+		extraCols = 1 // the input-selected threshold column
+		c.CellReads += uses * int64(cells) * n
+	}
+	if g.IsFC {
+		c.ADCConversions = mm * int64(k)
+		c.Adds = mm*int64(k-1) + mm // block accumulation + bias add
+	} else {
+		c.SAEvaluations = uses * mm * int64(k)
+		c.Popcounts = uses * mm
+		c.Adds = uses * mm // pool OR tree
+	}
+	c.BufferBytes = ceil64(int64(g.OutValues), 8) * 2
+
+	v := &lc.Inventory
+	v.Cells = int64(cells) * n * (mm + extraCols)
+	v.DriverRows = int64(cells) * n
+	v.Crossbars = int64(k)
+	v.DigitalBlocks = int64(k)
+	if g.IsFC {
+		v.ADCs = mm * int64(k)
+	} else {
+		v.SAs = mm * int64(k)
+	}
+	v.BufferBytes = inventoryBufferBytes(g, cfg, 1)
+	return lc, nil
+}
+
+// ceil64 is ceiling division for int64.
+func ceil64(a, b int64) int64 { return (a + b - 1) / b }
+
+// TotalCounts sums the per-picture usage counts of all layers.
+func (m *Mapping) TotalCounts() power.Counts {
+	var t power.Counts
+	for _, l := range m.Layers {
+		t.Add(l.Counts)
+	}
+	return t
+}
+
+// TotalInventory sums the module inventory of all layers.
+func (m *Mapping) TotalInventory() power.Inventory {
+	var t power.Inventory
+	for _, l := range m.Layers {
+		t.Add(l.Inventory)
+	}
+	return t
+}
+
+// Energy returns the per-layer and total per-picture energy breakdowns.
+func (m *Mapping) Energy(lib power.Library) ([]power.Breakdown, power.Breakdown) {
+	var total power.Breakdown
+	per := make([]power.Breakdown, len(m.Layers))
+	for i, l := range m.Layers {
+		per[i] = lib.Energy(l.Counts)
+		total.Add(per[i])
+	}
+	return per, total
+}
+
+// Area returns the per-layer and total area breakdowns.
+func (m *Mapping) Area(lib power.Library) ([]power.Breakdown, power.Breakdown) {
+	var total power.Breakdown
+	per := make([]power.Breakdown, len(m.Layers))
+	for i, l := range m.Layers {
+		per[i] = lib.Area(l.Inventory)
+		total.Add(per[i])
+	}
+	return per, total
+}
+
+// Ops returns the network's operation count per picture.
+func (m *Mapping) Ops() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.Geom.Ops()
+	}
+	return t
+}
+
+// Efficiency returns GOPs/J for one picture under the library.
+func (m *Mapping) Efficiency(lib power.Library) float64 {
+	_, e := m.Energy(lib)
+	return power.GOPsPerJoule(m.Ops(), e)
+}

@@ -1,0 +1,84 @@
+package arch
+
+import (
+	"testing"
+
+	"sei/internal/power"
+	"sei/internal/seicore"
+)
+
+func TestLineBufferValuesConv(t *testing.T) {
+	// Network 1 conv2: 12 input channels, 12×12 input, 5×5 kernel, 8×8
+	// output, pool 2. Line buffers: 12·12·5 input values + 64·8·2
+	// output values.
+	geoms := netGeometry(t, 1)
+	g := geoms[1]
+	if g.InC != 12 || g.InW != 12 || g.KH != 5 || g.PoolSize != 2 || g.OutW != 8 {
+		t.Fatalf("conv2 streaming geometry wrong: %+v", g)
+	}
+	want := 12*12*5 + 64*8*2
+	if got := g.LineBufferValues(); got != want {
+		t.Fatalf("LineBufferValues = %d, want %d", got, want)
+	}
+	// Far below the whole feature map.
+	if g.LineBufferValues() >= g.OutValues+g.UniqueInputs {
+		t.Fatal("line buffers not smaller than whole maps")
+	}
+}
+
+func TestLineBufferValuesFC(t *testing.T) {
+	geoms := netGeometry(t, 1)
+	fc := geoms[2]
+	if got := fc.LineBufferValues(); got != 1024+10 {
+		t.Fatalf("FC LineBufferValues = %d, want 1034", got)
+	}
+}
+
+func TestLineBuffersShrinkAreaNotEnergy(t *testing.T) {
+	geoms := netGeometry(t, 1)
+	lib := power.DefaultLibrary()
+
+	plain := DefaultConfig(seicore.StructDACADC)
+	lb := plain
+	lb.LineBuffers = true
+	mPlain, err := Map(geoms, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLB, err := Map(geoms, lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy identical: access counts don't change.
+	_, ePlain := mPlain.Energy(lib)
+	_, eLB := mLB.Energy(lib)
+	if ePlain.Total() != eLB.Total() {
+		t.Fatalf("line buffers changed energy: %v vs %v", eLB.Total(), ePlain.Total())
+	}
+	// Buffer area strictly shrinks.
+	_, aPlain := mPlain.Area(lib)
+	_, aLB := mLB.Area(lib)
+	if aLB.Buffer >= aPlain.Buffer {
+		t.Fatalf("line-buffer area %v not below whole-map %v", aLB.Buffer, aPlain.Buffer)
+	}
+	if aLB.Total() >= aPlain.Total() {
+		t.Fatal("total area did not shrink")
+	}
+}
+
+func TestLineBuffersWorkForSEI(t *testing.T) {
+	geoms := netGeometry(t, 2)
+	cfg := DefaultConfig(seicore.StructSEI)
+	cfg.LineBuffers = true
+	m, err := Map(geoms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalInventory().BufferBytes <= 0 {
+		t.Fatal("no buffer capacity accounted")
+	}
+	plain, _ := Map(geoms, DefaultConfig(seicore.StructSEI))
+	if m.TotalInventory().BufferBytes >= plain.TotalInventory().BufferBytes {
+		t.Fatal("SEI line buffers not smaller than whole maps")
+	}
+}

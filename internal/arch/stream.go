@@ -1,0 +1,127 @@
+package arch
+
+import (
+	"fmt"
+)
+
+// Streaming (wavefront) execution model. arch.Timing assumes layers
+// run sequentially per picture; a real design with the line buffers of
+// LineBufferValues overlaps them — a conv layer can fire as soon as
+// its KH input rows exist, so computation flows through the network as
+// a wavefront. StreamMakespan simulates that row-level pipeline with
+// an exact recurrence and reports the end-to-end makespan and the
+// per-layer stall time, validating the closed-form model from the
+// optimistic side (Timing.LatencyNS is an upper bound, the bottleneck
+// layer's latency a lower bound).
+
+// StreamLayer is one layer's streaming statistics.
+type StreamLayer struct {
+	Geom LayerGeom
+	// BusyNS is time spent evaluating waves; StallNS is time spent
+	// waiting for the producer layer.
+	BusyNS, StallNS float64
+	// FinishNS is when the layer's last output became available.
+	FinishNS float64
+}
+
+// StreamResult is the wavefront simulation outcome.
+type StreamResult struct {
+	Layers []StreamLayer
+	// MakespanNS is the single-picture latency with row-level
+	// inter-layer overlap: when every computed row (including rows a
+	// ragged pool discards) has finished. The classification itself is
+	// ready at Layers[last].FinishNS, which can be slightly earlier.
+	MakespanNS float64
+}
+
+// StreamMakespan runs the row-streaming recurrence under the timing
+// constants. It supports the stride-1 square-kernel geometry of the
+// paper's networks (GeometryOf provides it); FC layers synchronize on
+// the full feature map.
+func (m *Mapping) StreamMakespan(cfg TimingConfig) (*StreamResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	closed, err := m.Timing(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamResult{}
+	// availRow[r] is when input row r of the current layer becomes
+	// available; initially the image rows (all at t = 0).
+	var availRow []float64
+
+	for li, l := range m.Layers {
+		g := l.Geom
+		evalNS := closed.Layers[li].EvalNS
+		replicas := cfg.Replicas
+		if g.IsFC || replicas < 1 {
+			replicas = 1
+		}
+
+		if g.IsFC {
+			start := 0.0
+			for _, t := range availRow {
+				if t > start {
+					start = t
+				}
+			}
+			finish := start + evalNS
+			res.Layers = append(res.Layers, StreamLayer{
+				Geom: g, BusyNS: evalNS, StallNS: start, FinishNS: finish,
+			})
+			if finish > res.MakespanNS {
+				res.MakespanNS = finish
+			}
+			availRow = []float64{finish}
+			continue
+		}
+
+		if g.OutW <= 0 || g.Uses%g.OutW != 0 {
+			return nil, fmt.Errorf("arch: layer %s lacks streaming geometry (OutW=%d, Uses=%d)", g.Name, g.OutW, g.Uses)
+		}
+		outH := g.Uses / g.OutW
+		if availRow == nil {
+			// First layer: image rows all present at t = 0.
+			availRow = make([]float64, outH+g.KH-1)
+		}
+		if len(availRow) < outH+g.KH-1 {
+			return nil, fmt.Errorf("arch: layer %s needs %d input rows, producer supplies %d",
+				g.Name, outH+g.KH-1, len(availRow))
+		}
+		rowTime := float64((g.OutW+replicas-1)/replicas) * evalNS
+
+		sl := StreamLayer{Geom: g}
+		finishRow := make([]float64, outH)
+		prevFinish := 0.0
+		for r := 0; r < outH; r++ {
+			ready := availRow[r+g.KH-1] // last row of the window
+			start := prevFinish
+			if ready > start {
+				sl.StallNS += ready - start
+				start = ready
+			}
+			finishRow[r] = start + rowTime
+			sl.BusyNS += rowTime
+			prevFinish = finishRow[r]
+		}
+		sl.FinishNS = prevFinish
+		res.Layers = append(res.Layers, sl)
+		if prevFinish > res.MakespanNS {
+			res.MakespanNS = prevFinish
+		}
+
+		// Next layer's input rows: pooled output rows (the OR pool emits
+		// row p once its PoolSize source rows are done).
+		if g.PoolSize > 1 {
+			pooled := make([]float64, outH/g.PoolSize)
+			for p := range pooled {
+				pooled[p] = finishRow[p*g.PoolSize+g.PoolSize-1]
+			}
+			availRow = pooled
+		} else {
+			availRow = finishRow
+		}
+	}
+	return res, nil
+}

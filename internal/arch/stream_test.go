@@ -1,0 +1,106 @@
+package arch
+
+import (
+	"testing"
+
+	"sei/internal/seicore"
+)
+
+func TestStreamMakespanBounds(t *testing.T) {
+	for id := 1; id <= 3; id++ {
+		geoms := netGeometry(t, id)
+		m, _ := Map(geoms, DefaultConfig(seicore.StructSEI))
+		cfg := DefaultTimingConfig()
+		closed, err := m.Timing(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := m.StreamMakespan(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wavefront overlap can only help: makespan ≤ sequential latency.
+		if stream.MakespanNS > closed.LatencyNS+1e-9 {
+			t.Fatalf("network %d: stream makespan %.1f above sequential %.1f",
+				id, stream.MakespanNS, closed.LatencyNS)
+		}
+		// And it cannot beat the slowest layer's own work.
+		var worstBusy float64
+		for _, l := range stream.Layers {
+			if l.BusyNS > worstBusy {
+				worstBusy = l.BusyNS
+			}
+		}
+		if stream.MakespanNS < worstBusy-1e-9 {
+			t.Fatalf("network %d: makespan %.1f below bottleneck busy %.1f",
+				id, stream.MakespanNS, worstBusy)
+		}
+		t.Logf("network %d: sequential %.1f ns, wavefront %.1f ns (%.2fx)",
+			id, closed.LatencyNS, stream.MakespanNS, closed.LatencyNS/stream.MakespanNS)
+	}
+}
+
+func TestStreamAccounting(t *testing.T) {
+	geoms := netGeometry(t, 2)
+	m, _ := Map(geoms, DefaultConfig(seicore.StructDACADC))
+	stream, err := m.StreamMakespan(DefaultTimingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.Layers) != 3 {
+		t.Fatalf("got %d layers", len(stream.Layers))
+	}
+	// Conv1 has all inputs at t=0: no stalls, busy = 26 rows × 26 waves.
+	c1 := stream.Layers[0]
+	if c1.StallNS != 0 {
+		t.Fatalf("conv1 stalled %.1f ns with inputs ready", c1.StallNS)
+	}
+	wantBusy := float64(26) * float64(26) * 11 // rows × waves/row × evalNS
+	if c1.BusyNS != wantBusy {
+		t.Fatalf("conv1 busy %.1f, want %.1f", c1.BusyNS, wantBusy)
+	}
+	// Every layer's finish is ≥ its busy time and the FC finishes last.
+	for i, l := range stream.Layers {
+		if l.FinishNS < l.BusyNS {
+			t.Fatalf("layer %d finish %.1f < busy %.1f", i, l.FinishNS, l.BusyNS)
+		}
+	}
+	// The classification is ready at the FC finish; the makespan also
+	// covers trailing rows a ragged pool discards, so it is ≥ that.
+	if stream.MakespanNS < stream.Layers[2].FinishNS {
+		t.Fatal("makespan below the FC finish time")
+	}
+}
+
+func TestStreamReplicasSpeedup(t *testing.T) {
+	geoms := netGeometry(t, 1)
+	m, _ := Map(geoms, DefaultConfig(seicore.StructSEI))
+	cfg := DefaultTimingConfig()
+	one, err := m.StreamMakespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Replicas = 8
+	eight, err := m.StreamMakespan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.MakespanNS >= one.MakespanNS {
+		t.Fatalf("8 replicas makespan %.1f not below 1 replica %.1f",
+			eight.MakespanNS, one.MakespanNS)
+	}
+}
+
+func TestStreamDownstreamStalls(t *testing.T) {
+	// Conv2 consumes pooled conv1 rows; it must stall at least once
+	// waiting for its first full window.
+	geoms := netGeometry(t, 1)
+	m, _ := Map(geoms, DefaultConfig(seicore.StructSEI))
+	stream, err := m.StreamMakespan(DefaultTimingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Layers[1].StallNS <= 0 {
+		t.Fatal("conv2 never stalled; pipeline dependency not modeled")
+	}
+}

@@ -1,0 +1,50 @@
+// Package baseline holds the published CPU-alternative efficiency
+// figures the paper compares against in Section 5.3: the FPGA
+// accelerator of Zhang et al. (FPGA'15, the paper's reference [2]) and
+// the Nvidia K40 GPU. The paper claims SEI's >2000 GOPs/J is "about 2
+// orders of magnitude higher" than these platforms.
+package baseline
+
+// Platform is one published comparison point.
+type Platform struct {
+	Name string
+	// ThroughputGOPs is the reported sustained throughput.
+	ThroughputGOPs float64
+	// PowerW is the reported board/chip power.
+	PowerW float64
+	// Source cites where the numbers come from.
+	Source string
+}
+
+// EfficiencyGOPsPerJ returns throughput per watt.
+func (p Platform) EfficiencyGOPsPerJ() float64 {
+	if p.PowerW == 0 {
+		return 0
+	}
+	return p.ThroughputGOPs / p.PowerW
+}
+
+// FPGA is Zhang et al.'s VC707 accelerator: 61.62 GOPs at 18.61 W
+// (FPGA'15, the paper's [2]).
+func FPGA() Platform {
+	return Platform{
+		Name:           "FPGA (Zhang FPGA'15)",
+		ThroughputGOPs: 61.62,
+		PowerW:         18.61,
+		Source:         "C. Zhang et al., Optimizing FPGA-based accelerator design for deep CNNs, FPGA 2015",
+	}
+}
+
+// GPU is the Nvidia K40 the paper measured against: ~4290 GOPs peak
+// single-precision at a 235 W board budget.
+func GPU() Platform {
+	return Platform{
+		Name:           "GPU (Nvidia K40)",
+		ThroughputGOPs: 4290,
+		PowerW:         235,
+		Source:         "Nvidia Tesla K40 datasheet (peak SP throughput, board TDP)",
+	}
+}
+
+// All returns every comparison platform.
+func All() []Platform { return []Platform{FPGA(), GPU()} }

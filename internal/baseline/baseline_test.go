@@ -1,0 +1,38 @@
+package baseline
+
+import "testing"
+
+func TestFPGAEfficiency(t *testing.T) {
+	// 61.62 / 18.61 ≈ 3.31 GOPs/J — the number behind the paper's "two
+	// orders of magnitude" claim.
+	eff := FPGA().EfficiencyGOPsPerJ()
+	if eff < 3.2 || eff > 3.4 {
+		t.Fatalf("FPGA efficiency %.3f, want ≈3.31", eff)
+	}
+}
+
+func TestGPUEfficiency(t *testing.T) {
+	eff := GPU().EfficiencyGOPsPerJ()
+	if eff < 15 || eff > 25 {
+		t.Fatalf("GPU efficiency %.3f, want ≈18", eff)
+	}
+}
+
+func TestZeroPower(t *testing.T) {
+	p := Platform{ThroughputGOPs: 1}
+	if p.EfficiencyGOPsPerJ() != 0 {
+		t.Fatal("zero-power platform should report 0 efficiency")
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != 2 {
+		t.Fatalf("got %d platforms", len(all))
+	}
+	for _, p := range all {
+		if p.Name == "" || p.Source == "" || p.EfficiencyGOPsPerJ() <= 0 {
+			t.Fatalf("platform %+v incomplete", p)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sei/internal/arch"
+	"sei/internal/nn"
+	"sei/internal/power"
+	"sei/internal/rram"
+	"sei/internal/seicore"
+)
+
+// ParetoPoint is one device design point: precision and variation
+// against accuracy and energy.
+type ParetoPoint struct {
+	DeviceBits int
+	Sigma      float64
+	ErrorRate  float64
+	EnergyUJ   float64
+	// Dominated marks points that another point beats on both axes.
+	Dominated bool
+}
+
+// ParetoStudy sweeps device precision × programming variation for the
+// SEI design of one network and marks the accuracy/energy Pareto
+// frontier. It quantifies the paper's device-choice argument: 4-bit
+// cells (two per weight slice) sit on the frontier because fewer bits
+// multiply the cell count while more bits exceed what state-of-the-art
+// devices can hold [13].
+func ParetoStudy(c *Context, networkID int, bitsList []int, sigmas []float64) ([]ParetoPoint, error) {
+	q := c.QuantizedCalibrated(networkID)
+	geoms, err := arch.GeometryOf(q)
+	if err != nil {
+		return nil, err
+	}
+	lib := power.DefaultLibrary()
+	test := c.Test.Subset(200)
+	var points []ParetoPoint
+	for _, bits := range bitsList {
+		// Energy scales with the physical cell count, which depends on
+		// the slice count at this precision.
+		cfg := arch.DefaultConfig(seicore.StructSEI)
+		m, err := arch.Map(geoms, cfg)
+		if err != nil {
+			return nil, err
+		}
+		_, e := m.Energy(lib)
+		// The mapper's default accounting assumes 4-bit devices (2
+		// slices); scale the data-dependent portion by the slice ratio.
+		sliceRatio := float64(rram.SliceCount(rram.WeightBits, bits)) / float64(rram.SliceCount(rram.WeightBits, 4))
+		energyUJ := power.MicroJoules(power.Breakdown{
+			DAC: e.DAC, ADC: e.ADC, SA: e.SA, Digital: e.Digital,
+			Buffer: e.Buffer, DRAM: e.DRAM,
+			RRAM:   e.RRAM * sliceRatio,
+			Driver: e.Driver * sliceRatio,
+		})
+		for _, sigma := range sigmas {
+			model := rram.IdealDeviceModel(bits)
+			model.ProgramSigma = sigma
+			design, err := seicore.BuildOneBitADC(q, model, rand.New(rand.NewSource(c.Cfg.Seed)))
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, ParetoPoint{
+				DeviceBits: bits,
+				Sigma:      sigma,
+				ErrorRate:  nn.ClassifierErrorRate(design, test),
+				EnergyUJ:   energyUJ,
+			})
+		}
+	}
+	markDominated(points)
+	return points, nil
+}
+
+// markDominated flags points strictly worse than another on both axes.
+func markDominated(points []ParetoPoint) {
+	for i := range points {
+		for j := range points {
+			if i == j {
+				continue
+			}
+			if points[j].ErrorRate <= points[i].ErrorRate &&
+				points[j].EnergyUJ <= points[i].EnergyUJ &&
+				(points[j].ErrorRate < points[i].ErrorRate || points[j].EnergyUJ < points[i].EnergyUJ) {
+				points[i].Dominated = true
+				break
+			}
+		}
+	}
+}
+
+// PrintPareto renders the sweep with frontier markers.
+func PrintPareto(w io.Writer, networkID int, points []ParetoPoint) {
+	fmt.Fprintf(w, "Device Pareto study (Network %d, SEI): accuracy vs energy\n", networkID)
+	fmt.Fprintf(w, "  %-6s %-7s %9s %12s %9s\n", "bits", "sigma", "error", "energy(uJ)", "frontier")
+	for _, p := range points {
+		mark := "*"
+		if p.Dominated {
+			mark = ""
+		}
+		fmt.Fprintf(w, "  %-6d %-7.2f %8.2f%% %12.3f %9s\n",
+			p.DeviceBits, p.Sigma, 100*p.ErrorRate, p.EnergyUJ, mark)
+	}
+}

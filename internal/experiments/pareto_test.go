@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParetoStudy(t *testing.T) {
+	c := ctx(t)
+	points, err := ParetoStudy(c, 2, []int{2, 4, 6}, []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	// At least one point must be on the frontier.
+	frontier := 0
+	for _, p := range points {
+		if !p.Dominated {
+			frontier++
+		}
+	}
+	if frontier == 0 {
+		t.Fatal("no frontier points")
+	}
+	// Fewer bits per cell → more slices → more RRAM/driver energy.
+	var e2, e6 float64
+	for _, p := range points {
+		if p.Sigma == 0 {
+			switch p.DeviceBits {
+			case 2:
+				e2 = p.EnergyUJ
+			case 6:
+				e6 = p.EnergyUJ
+			}
+		}
+	}
+	if e2 <= e6 {
+		t.Fatalf("2-bit energy %.3f not above 6-bit %.3f", e2, e6)
+	}
+	var buf bytes.Buffer
+	PrintPareto(&buf, 2, points)
+	if !strings.Contains(buf.String(), "frontier") {
+		t.Fatal("print missing frontier column")
+	}
+}
+
+func TestMarkDominated(t *testing.T) {
+	points := []ParetoPoint{
+		{ErrorRate: 0.1, EnergyUJ: 1},   // dominated by #2
+		{ErrorRate: 0.05, EnergyUJ: 1},  // frontier
+		{ErrorRate: 0.2, EnergyUJ: 0.5}, // frontier (cheapest)
+		{ErrorRate: 0.05, EnergyUJ: 1},  // tie with #1: neither dominates
+	}
+	markDominated(points)
+	if !points[0].Dominated {
+		t.Fatal("point 0 should be dominated")
+	}
+	if points[1].Dominated || points[2].Dominated || points[3].Dominated {
+		t.Fatalf("frontier misidentified: %+v", points)
+	}
+}

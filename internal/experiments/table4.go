@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sort"
+
+	"sei/internal/homog"
+	"sei/internal/nn"
+	"sei/internal/quant"
+	"sei/internal/seicore"
+	"sei/internal/tensor"
+)
+
+// Table4Column is the splitting study at one maximum crossbar size.
+type Table4Column struct {
+	MaxCrossbar int
+	// Original and Quantization repeat the Table-3 reference points.
+	Original     float64
+	Quantization float64
+	// RandomMin/RandomMax bound the error over sampled random row
+	// orders with static split thresholds (paper: 3.90–45.89% at 512).
+	RandomMin, RandomMax float64
+	RandomOrdersSampled  int
+	// Clustered is the error when rows are sorted by row sum before
+	// splitting — the worst-case arrangement the paper's random-order
+	// experiment brushes against. Our trained networks have larger
+	// decision margins than the paper's Caffe models, so uniformly
+	// random orders rarely reach the catastrophic tail; the clustered
+	// order exhibits the failure mode deterministically.
+	Clustered float64
+	// Homogenized is the error with GA-homogenized orders and static
+	// thresholds; DynamicThreshold adds the calibrated input-dynamic
+	// compensation.
+	Homogenized      float64
+	DynamicThreshold float64
+	// HomogReduction is the Equ.-10 distance reduction of the split
+	// conv stage(s) vs natural order (paper: 80–90%).
+	HomogReduction float64
+	// SplitStages records which conv stages split and into how many
+	// blocks.
+	SplitStages map[int]int
+}
+
+// Table4Result reproduces Table 4 for one network.
+type Table4Result struct {
+	NetworkID int
+	Columns   []Table4Column
+}
+
+// splitConvStages returns the conv stages (index ≥ 1) that need
+// splitting at the given crossbar size, with their block counts.
+func splitConvStages(q *quant.QuantizedNet, maxSize int, mode seicore.SignedMode) map[int]int {
+	out := map[int]int{}
+	for l := 1; l < len(q.Convs); l++ {
+		n := q.Convs[l].FanIn()
+		if k := seicore.BlocksFor(n, mode.CellsPerWeight(), maxSize); k > 1 {
+			out[l] = k
+		}
+	}
+	return out
+}
+
+// homogenizedOrders computes GA orders for every split conv stage and
+// the aggregate distance reduction.
+func homogenizedOrders(c *Context, q *quant.QuantizedNet, maxSize int, mode seicore.SignedMode) (orders [][]int, reduction float64) {
+	split := splitConvStages(q, maxSize, mode)
+	orders = make([][]int, len(q.Convs))
+	var reds []float64
+	for l, k := range split {
+		cfg := homog.DefaultGAConfig()
+		cfg.Seed = c.Cfg.Seed + int64(l)
+		res, err := homog.Homogenize(q.ConvMatrix(l), k, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: homogenizing stage %d: %v", l, err))
+		}
+		orders[l] = res.Order
+		reds = append(reds, res.Reduction())
+		c.logf("experiments: homogenized stage %d (K=%d): distance %.4f -> %.4f (%.1f%% reduction)\n",
+			l, k, res.NaturalDistance, res.Distance, 100*res.Reduction())
+	}
+	for _, r := range reds {
+		reduction += r
+	}
+	if len(reds) > 0 {
+		reduction /= float64(len(reds))
+	}
+	return orders, reduction
+}
+
+// HomogenizedOrdersFor computes GA split orders for every conv stage
+// of q that splits at the given crossbar size, without needing a full
+// experiment context — the facade's pipeline uses it.
+func HomogenizedOrdersFor(q *quant.QuantizedNet, maxSize int, seed int64) [][]int {
+	split := splitConvStages(q, maxSize, seicore.ModeBipolar)
+	orders := make([][]int, len(q.Convs))
+	for l, k := range split {
+		cfg := homog.DefaultGAConfig()
+		cfg.Seed = seed + int64(l)
+		res, err := homog.Homogenize(q.ConvMatrix(l), k, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: homogenizing stage %d: %v", l, err))
+		}
+		orders[l] = res.Order
+	}
+	return orders
+}
+
+// sortedOrder returns the matrix's rows sorted by decreasing row sum —
+// the clustered arrangement that concentrates weight mass into one
+// block.
+func sortedOrder(w *tensor.Tensor) []int {
+	n, m := w.Dim(0), w.Dim(1)
+	sums := make([]float64, n)
+	for r := 0; r < n; r++ {
+		for _, v := range w.Data()[r*m : (r+1)*m] {
+			sums[r] += v
+		}
+	}
+	order := seicore.NaturalOrder(n)
+	sort.Slice(order, func(a, b int) bool { return sums[order[a]] > sums[order[b]] })
+	return order
+}
+
+// RandomOrdersFor draws a seeded random permutation for every conv
+// stage of q that splits at the given crossbar size — the Table-4
+// "Random Order Splitting" condition, exposed for the facade.
+func RandomOrdersFor(q *quant.QuantizedNet, maxSize int, seed int64) [][]int {
+	split := splitConvStages(q, maxSize, seicore.ModeBipolar)
+	rng := rand.New(rand.NewSource(seed))
+	orders := make([][]int, len(q.Convs))
+	for l := range split {
+		orders[l] = homog.RandomOrder(q.Convs[l].FanIn(), rng)
+	}
+	return orders
+}
+
+// seiError builds an SEI design with the given orders and dynamic
+// setting and evaluates it on the test set.
+func seiError(c *Context, q *quant.QuantizedNet, maxSize int, orders [][]int, dynamic bool, seed int64) float64 {
+	cfg := seicore.DefaultSEIBuildConfig()
+	cfg.Layer.MaxCrossbar = maxSize
+	cfg.Orders = orders
+	cfg.DynamicThreshold = dynamic
+	cfg.CalibImages = c.Cfg.CalibImages
+	var train = c.Train
+	if !dynamic {
+		train = nil
+	}
+	design, err := seicore.BuildSEI(q, train, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building SEI design: %v", err))
+	}
+	return nn.ClassifierErrorRate(design, c.Test)
+}
+
+// Table4 runs the splitting study (paper: Network 1 at 512 and 256).
+func Table4(c *Context, networkID int, sizes []int) *Table4Result {
+	q := c.QuantizedCalibrated(networkID)
+	res := &Table4Result{NetworkID: networkID}
+	for _, size := range sizes {
+		col := Table4Column{
+			MaxCrossbar:  size,
+			Original:     c.FloatError(networkID),
+			Quantization: c.QuantCalibratedError(networkID),
+			SplitStages:  splitConvStages(q, size, seicore.ModeBipolar),
+		}
+
+		// Random order sampling with static thresholds.
+		rng := rand.New(rand.NewSource(c.Cfg.Seed + int64(size)))
+		col.RandomMin, col.RandomMax = 1.0, 0.0
+		col.RandomOrdersSampled = c.Cfg.RandomOrders
+		for r := 0; r < c.Cfg.RandomOrders; r++ {
+			orders := make([][]int, len(q.Convs))
+			for l := range col.SplitStages {
+				orders[l] = homog.RandomOrder(q.Convs[l].FanIn(), rng)
+			}
+			e := seiError(c, q, size, orders, false, c.Cfg.Seed+int64(r))
+			if e < col.RandomMin {
+				col.RandomMin = e
+			}
+			if e > col.RandomMax {
+				col.RandomMax = e
+			}
+			c.logf("experiments: table4 net%d @%d random order %d/%d: err %.4f\n",
+				networkID, size, r+1, c.Cfg.RandomOrders, e)
+		}
+
+		// Clustered (sorted-by-row-sum) order: the deterministic bad case.
+		clustered := make([][]int, len(q.Convs))
+		for l := range col.SplitStages {
+			clustered[l] = sortedOrder(q.ConvMatrix(l))
+		}
+		col.Clustered = seiError(c, q, size, clustered, false, c.Cfg.Seed+500)
+
+		orders, reduction := homogenizedOrders(c, q, size, seicore.ModeBipolar)
+		col.HomogReduction = reduction
+		col.Homogenized = seiError(c, q, size, orders, false, c.Cfg.Seed+1000)
+		col.DynamicThreshold = seiError(c, q, size, orders, true, c.Cfg.Seed+1000)
+		c.logf("experiments: table4 net%d @%d: homog %.4f dynamic %.4f\n",
+			networkID, size, col.Homogenized, col.DynamicThreshold)
+		res.Columns = append(res.Columns, col)
+	}
+	return res
+}
+
+// Print renders the result like the paper's Table 4.
+func (r *Table4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 4: error rate of the proposed methods on Network %d\n", r.NetworkID)
+	fmt.Fprintf(w, "  %-26s", "Max Crossbar Size")
+	for _, col := range r.Columns {
+		fmt.Fprintf(w, " %14d", col.MaxCrossbar)
+	}
+	fmt.Fprintln(w)
+	line := func(name string, get func(Table4Column) string) {
+		fmt.Fprintf(w, "  %-26s", name)
+		for _, col := range r.Columns {
+			fmt.Fprintf(w, " %14s", get(col))
+		}
+		fmt.Fprintln(w)
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+	line("Original CNN", func(c Table4Column) string { return pct(c.Original) })
+	line("Quantization", func(c Table4Column) string { return pct(c.Quantization) })
+	line("Random Order Splitting", func(c Table4Column) string {
+		return fmt.Sprintf("%.2f-%.2f%%", 100*c.RandomMin, 100*c.RandomMax)
+	})
+	line("Clustered Order Splitting", func(c Table4Column) string { return pct(c.Clustered) })
+	line("Matrix Homogenization", func(c Table4Column) string { return pct(c.Homogenized) })
+	line("Dynamic Threshold", func(c Table4Column) string { return pct(c.DynamicThreshold) })
+	line("Homog distance reduction", func(c Table4Column) string {
+		return fmt.Sprintf("%.0f%%", 100*c.HomogReduction)
+	})
+}

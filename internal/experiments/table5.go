@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sei/internal/arch"
+	"sei/internal/baseline"
+	"sei/internal/nn"
+	"sei/internal/power"
+	"sei/internal/rram"
+	"sei/internal/seicore"
+)
+
+// Table5Row is one row of Table 5: a network × structure × crossbar
+// size design point.
+type Table5Row struct {
+	NetworkID   int
+	DataBits    int
+	Structure   seicore.Structure
+	MaxCrossbar int
+	ErrorRate   float64
+	EnergyUJ    float64
+	// EnergySaving and AreaSaving are relative to the DAC+ADC row of
+	// the same network and crossbar size.
+	EnergySaving float64
+	AreaSaving   float64
+	AreaMM2      float64
+	GOPsPerJ     float64
+}
+
+// Table5Result reproduces Table 5 plus the Section-5.3 efficiency
+// comparison.
+type Table5Result struct {
+	Rows      []Table5Row
+	Baselines []baseline.Platform
+}
+
+// Table5Point selects one network/crossbar-size block of the table.
+type Table5Point struct {
+	NetworkID   int
+	MaxCrossbar int
+}
+
+// PaperTable5Points returns the paper's layout: Network 1 at 512 and
+// 256, Networks 2 and 3 at 512.
+func PaperTable5Points() []Table5Point {
+	return []Table5Point{
+		{1, 512}, {1, 256}, {2, 512}, {3, 512},
+	}
+}
+
+// Table5 evaluates the three structures at each point: functional
+// error through the hardware simulators, energy/area through the
+// mapper.
+func Table5(c *Context, points []Table5Point) (*Table5Result, error) {
+	lib := power.DefaultLibrary()
+	res := &Table5Result{Baselines: baseline.All()}
+	for _, pt := range points {
+		q := c.QuantizedCalibrated(pt.NetworkID)
+		geoms, err := arch.GeometryOf(q)
+		if err != nil {
+			return nil, err
+		}
+		var baseEnergy, baseArea float64
+		for _, structure := range []seicore.Structure{seicore.StructDACADC, seicore.StructOneBitADC, seicore.StructSEI} {
+			cfg := arch.DefaultConfig(structure)
+			cfg.MaxCrossbar = pt.MaxCrossbar
+			m, err := arch.Map(geoms, cfg)
+			if err != nil {
+				return nil, err
+			}
+			_, e := m.Energy(lib)
+			_, a := m.Area(lib)
+			row := Table5Row{
+				NetworkID:   pt.NetworkID,
+				Structure:   structure,
+				MaxCrossbar: pt.MaxCrossbar,
+				DataBits:    1,
+				EnergyUJ:    power.MicroJoules(e),
+				AreaMM2:     power.SquareMM(a),
+				GOPsPerJ:    m.Efficiency(lib),
+			}
+			switch structure {
+			case seicore.StructDACADC:
+				row.DataBits = 8
+				baseEnergy, baseArea = row.EnergyUJ, row.AreaMM2
+				row.ErrorRate = c.dacadcError(pt.NetworkID)
+			case seicore.StructOneBitADC:
+				row.ErrorRate = c.oneBitError(pt.NetworkID)
+			case seicore.StructSEI:
+				orders, _ := homogenizedOrders(c, q, pt.MaxCrossbar, seicore.ModeBipolar)
+				row.ErrorRate = seiError(c, q, pt.MaxCrossbar, orders, true, c.Cfg.Seed+int64(pt.MaxCrossbar))
+			}
+			if baseEnergy > 0 {
+				row.EnergySaving = 1 - row.EnergyUJ/baseEnergy
+			}
+			if baseArea > 0 {
+				row.AreaSaving = 1 - row.AreaMM2/baseArea
+			}
+			c.logf("experiments: table5 net%d @%d %s: err %.4f energy %.3f uJ area %.4f mm2\n",
+				pt.NetworkID, pt.MaxCrossbar, structure, row.ErrorRate, row.EnergyUJ, row.AreaMM2)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// dacadcError evaluates the full-precision hardware design (cached per
+// network).
+func (c *Context) dacadcError(id int) float64 {
+	key := -id // negative keys hold hardware-path errors
+	if e, ok := c.floatErr[key]; ok {
+		return e
+	}
+	design, err := seicore.BuildDACADC(c.Network(id), []int{1, 28, 28}, rram.DefaultDeviceModel(),
+		rand.New(rand.NewSource(c.Cfg.Seed)))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building DAC+ADC design: %v", err))
+	}
+	e := nn.ClassifierErrorRate(design, c.Test)
+	c.floatErr[key] = e
+	return e
+}
+
+// oneBitError evaluates the 1-bit-input ADC-merged design (cached).
+func (c *Context) oneBitError(id int) float64 {
+	key := -id
+	if e, ok := c.quantErr[key]; ok {
+		return e
+	}
+	design, err := seicore.BuildOneBitADC(c.QuantizedCalibrated(id), rram.DefaultDeviceModel(),
+		rand.New(rand.NewSource(c.Cfg.Seed)))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building 1-bit+ADC design: %v", err))
+	}
+	e := nn.ClassifierErrorRate(design, c.Test)
+	c.quantErr[key] = e
+	return e
+}
+
+// Print renders the result like the paper's Table 5.
+func (r *Table5Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: results of the proposed method using a 4-bit RRAM device")
+	fmt.Fprintf(w, "  %-5s %-5s %-17s %-6s %8s %11s %9s %9s %9s\n",
+		"net", "bits", "structure", "size", "err", "energy(uJ)", "E-save", "A-save", "GOPs/J")
+	for _, row := range r.Rows {
+		save := "-"
+		asave := "-"
+		if row.Structure != seicore.StructDACADC {
+			save = fmt.Sprintf("%.2f%%", 100*row.EnergySaving)
+			asave = fmt.Sprintf("%.2f%%", 100*row.AreaSaving)
+		}
+		fmt.Fprintf(w, "  %-5d %-5d %-17s %-6d %7.2f%% %11.3f %9s %9s %9.0f\n",
+			row.NetworkID, row.DataBits, row.Structure, row.MaxCrossbar,
+			100*row.ErrorRate, row.EnergyUJ, save, asave, row.GOPsPerJ)
+	}
+	fmt.Fprintln(w, "  Comparison platforms:")
+	for _, p := range r.Baselines {
+		fmt.Fprintf(w, "    %-22s %8.2f GOPs/J (%s)\n", p.Name, p.EfficiencyGOPsPerJ(), p.Source)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sei/internal/nn"
+	"sei/internal/quant"
+)
+
+// Table1Result reproduces Table 1: the distribution of intermediate
+// (post-ReLU conv) data, normalized per layer, binned at 1/16, 1/8 and
+// 1/4. The paper measured CaffeNet; we measure the Table-2 networks,
+// which the paper states share the distribution shape ("all the
+// networks have a similar data distribution with CaffeNet").
+type Table1Result struct {
+	Networks map[int][]quant.LayerDistribution
+}
+
+// Table1 analyzes the given trained networks over the test set.
+func Table1(c *Context, networkIDs ...int) *Table1Result {
+	res := &Table1Result{Networks: map[int][]quant.LayerDistribution{}}
+	for _, id := range networkIDs {
+		net := c.Network(id)
+		res.Networks[id] = quant.AnalyzeDistribution(net, c.Test)
+	}
+	return res
+}
+
+// Print renders the rows like the paper's Table 1.
+func (r *Table1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: distribution of normalized intermediate data")
+	fmt.Fprintf(w, "  %-22s %9s %9s %9s %9s\n", "", "0-1/16", "1/16-1/8", "1/8-1/4", "1/4-1")
+	for id := 1; id <= 3; id++ {
+		rows, ok := r.Networks[id]
+		if !ok {
+			continue
+		}
+		for _, d := range rows {
+			fmt.Fprintf(w, "  Network %d %-12s %8.2f%% %8.2f%% %8.2f%% %8.2f%%\n",
+				id, d.LayerName, 100*d.Fractions[0], 100*d.Fractions[1], 100*d.Fractions[2], 100*d.Fractions[3])
+		}
+	}
+}
+
+// Table2Row is one column of Table 2: a network configuration plus its
+// measured complexity.
+type Table2Row struct {
+	NetworkID  int
+	Spec       nn.NetworkSpec
+	Ops        int64
+	OpsGOPs    float64
+	ParamCount int
+}
+
+// Table2 reports the experiment setup of the three networks.
+func Table2(c *Context) []Table2Row {
+	var rows []Table2Row
+	for id := 1; id <= 3; id++ {
+		net := c.Network(id)
+		spec := nn.Specs()[id]
+		ops := net.Ops([]int{1, 28, 28})
+		rows = append(rows, Table2Row{
+			NetworkID:  id,
+			Spec:       spec,
+			Ops:        ops,
+			OpsGOPs:    float64(ops) / 1e9,
+			ParamCount: net.NumParams(),
+		})
+	}
+	return rows
+}
+
+// PrintTable2 renders the setup like the paper's Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: experiment setup")
+	for _, r := range rows {
+		s := r.Spec
+		fmt.Fprintf(w, "  Network %d: conv1 %d kernels %dx%d (matrix %dx%d), conv2 %d kernels %dx%d (matrix %dx%d), FC %dx%d, %.2e GOPs (2 ops/MAC), %d params\n",
+			r.NetworkID,
+			s.Conv1Filters, s.Conv1Kernel, s.Conv1Kernel, s.WeightMatrix1Rows, s.WeightMatrix1Cols,
+			s.Conv2Filters, s.Conv2Kernel, s.Conv2Kernel, s.WeightMatrix2Rows, s.WeightMatrix2Cols,
+			s.FCIn, s.FCOut, r.OpsGOPs, r.ParamCount)
+	}
+}
+
+// Table3Row is one column of Table 3: error rates before and after
+// 1-bit quantization for a network, plus the calibrated variant this
+// repo adds (FC recalibration + threshold refinement).
+type Table3Row struct {
+	NetworkID          int
+	BeforeQuantization float64
+	AfterQuantization  float64
+	AfterCalibration   float64
+}
+
+// Table3 measures the quantization cost on the test set.
+func Table3(c *Context, networkIDs ...int) []Table3Row {
+	var rows []Table3Row
+	for _, id := range networkIDs {
+		rows = append(rows, Table3Row{
+			NetworkID:          id,
+			BeforeQuantization: c.FloatError(id),
+			AfterQuantization:  c.QuantError(id),
+			AfterCalibration:   c.QuantCalibratedError(id),
+		})
+	}
+	return rows
+}
+
+// PrintTable3 renders the rows like the paper's Table 3.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: error rate of the quantization method")
+	fmt.Fprintf(w, "  %-22s", "Network")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %8d", r.NetworkID)
+	}
+	fmt.Fprintln(w)
+	line := func(name string, get func(Table3Row) float64) {
+		fmt.Fprintf(w, "  %-22s", name)
+		for _, r := range rows {
+			fmt.Fprintf(w, " %7.2f%%", 100*get(r))
+		}
+		fmt.Fprintln(w)
+	}
+	line("Before Quantization", func(r Table3Row) float64 { return r.BeforeQuantization })
+	line("After Quantization", func(r Table3Row) float64 { return r.AfterQuantization })
+	line("After Calibration*", func(r Table3Row) float64 { return r.AfterCalibration })
+	fmt.Fprintln(w, "  (*) FC recalibration + threshold refinement — this repo's extension")
+}

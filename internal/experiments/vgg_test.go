@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVGG19GeometryShape(t *testing.T) {
+	geoms := VGG19Geometry()
+	if len(geoms) != 19 { // 16 conv + 3 FC
+		t.Fatalf("got %d layers, want 19", len(geoms))
+	}
+	// First conv: 3 channels × 3×3 = 27 rows, 64 kernels, 224² uses.
+	g := geoms[0]
+	if g.N != 27 || g.M != 64 || g.Uses != 224*224 {
+		t.Fatalf("conv1 geometry %+v", g)
+	}
+	// Classifier: 25088 → 4096 → 4096 → 1000.
+	if geoms[16].N != 25088 || geoms[18].M != 1000 {
+		t.Fatalf("FC geometry wrong: %+v / %+v", geoms[16], geoms[18])
+	}
+}
+
+func TestVGGAnalysisReproducesPaperMagnitudes(t *testing.T) {
+	res, err := VGGAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~3×10⁷ intermediate data. VGG-19's conv outputs alone are
+	// ≈1.5×10⁷; the paper's count (likely write+read, or including
+	// pooling copies) is 2× that — same order.
+	if res.IntermediateData < 1e7 || res.IntermediateData > 6e7 {
+		t.Fatalf("intermediate data %.2e outside the paper's 3e7 order", float64(res.IntermediateData))
+	}
+	// Paper: ~10⁹ RRAM cells. 143.6M weights × 4 cells ≈ 5.7×10⁸.
+	if res.WeightCells < 2e8 || res.WeightCells > 2e9 {
+		t.Fatalf("weight cells %.2e outside the paper's 1e9 order", float64(res.WeightCells))
+	}
+	// VGG-19 forward ≈ 2×19.6G MACs ≈ 3.9e10 ops.
+	if res.Ops < 2e10 || res.Ops > 8e10 {
+		t.Fatalf("ops %.2e outside VGG-19's known ~4e10", float64(res.Ops))
+	}
+	// SEI's saving must persist at scale.
+	if res.Saving < 0.90 {
+		t.Fatalf("SEI saving %.4f at VGG scale, want ≥ 0.90", res.Saving)
+	}
+	var buf bytes.Buffer
+	PrintVGG(&buf, res)
+	if !strings.Contains(buf.String(), "VGG-19") {
+		t.Fatal("Print output missing header")
+	}
+}
+
+func TestSplitWideConservesCounts(t *testing.T) {
+	geoms := VGG19Geometry()
+	split := splitWide(geoms, 511)
+	var mOrig, mSplit, outOrig, outSplit int64
+	for _, g := range geoms {
+		mOrig += int64(g.M)
+		outOrig += int64(g.OutValues)
+	}
+	for _, g := range split {
+		mSplit += int64(g.M)
+		outSplit += int64(g.OutValues)
+		if g.M > 511 {
+			t.Fatalf("split layer %s still has %d columns", g.Name, g.M)
+		}
+	}
+	if mOrig != mSplit || outOrig != outSplit {
+		t.Fatalf("splitWide changed totals: M %d→%d, out %d→%d", mOrig, mSplit, outOrig, outSplit)
+	}
+}

@@ -1,0 +1,87 @@
+package homog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sei/internal/tensor"
+)
+
+// SAConfig controls the simulated-annealing alternative to the GA.
+// The paper uses a genetic algorithm; annealing over the same
+// swap-move neighbourhood is the natural ablation (see
+// BenchmarkAblationHomogMethod) and tends to match the GA at lower
+// cost on large matrices because every step is an incremental
+// two-block update.
+type SAConfig struct {
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule, in
+	// units of the distance objective.
+	StartTemp, EndTemp float64
+	Seed               int64
+}
+
+// DefaultSAConfig anneals for a few tens of thousands of swap moves.
+func DefaultSAConfig() SAConfig {
+	return SAConfig{Iterations: 20000, StartTemp: 0.05, EndTemp: 1e-5, Seed: 1}
+}
+
+// Anneal minimizes the Equ.-10 distance by simulated annealing on row
+// swaps, starting from the greedy serpentine order.
+func Anneal(w *tensor.Tensor, k int, cfg SAConfig) (Result, error) {
+	if w.Dims() != 2 {
+		return Result{}, fmt.Errorf("homog: matrix must be 2-D, got %v", w.Shape())
+	}
+	n := w.Dim(0)
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("homog: cannot split %d rows into %d blocks", n, k)
+	}
+	if cfg.Iterations < 1 || cfg.StartTemp <= 0 || cfg.EndTemp <= 0 || cfg.EndTemp > cfg.StartTemp {
+		return Result{}, fmt.Errorf("homog: invalid SA config %+v", cfg)
+	}
+	naturalDist := Distance(w, NaturalOrder(n), k)
+	if k == 1 {
+		return Result{Order: NaturalOrder(n), Distance: 0, NaturalDistance: 0}, nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := GreedySerpentine(w, k)
+	dist := Distance(w, order, k)
+	best := append([]int(nil), order...)
+	bestDist := dist
+
+	cool := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Iterations))
+	temp := cfg.StartTemp
+	for it := 0; it < cfg.Iterations; it++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			temp *= cool
+			continue
+		}
+		order[i], order[j] = order[j], order[i]
+		cand := Distance(w, order, k)
+		delta := cand - dist
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			dist = cand
+			if dist < bestDist {
+				bestDist = dist
+				copy(best, order)
+			}
+		} else {
+			order[i], order[j] = order[j], order[i] // reject
+		}
+		temp *= cool
+	}
+	return Result{Order: best, Distance: bestDist, NaturalDistance: naturalDist}, nil
+}
+
+// NaturalOrder re-exports the split convention's identity order so
+// homog callers need not import seicore for it.
+func NaturalOrder(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}

@@ -1,0 +1,95 @@
+package homog
+
+import (
+	"testing"
+)
+
+func TestAnnealReducesDistance(t *testing.T) {
+	w := randomMatrix(100, 6, 11)
+	cfg := DefaultSAConfig()
+	cfg.Iterations = 8000
+	res, err := Anneal(w, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance > res.NaturalDistance {
+		t.Fatalf("SA worse than natural: %v > %v", res.Distance, res.NaturalDistance)
+	}
+	if res.Reduction() < 0.5 {
+		t.Fatalf("SA reduction %.2f too small", res.Reduction())
+	}
+	seen := make([]bool, 100)
+	for _, idx := range res.Order {
+		if seen[idx] {
+			t.Fatal("SA order is not a permutation")
+		}
+		seen[idx] = true
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	w := randomMatrix(40, 4, 12)
+	cfg := DefaultSAConfig()
+	cfg.Iterations = 2000
+	a, _ := Anneal(w, 2, cfg)
+	b, _ := Anneal(w, 2, cfg)
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("SA not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestAnnealCompetitiveWithGA(t *testing.T) {
+	w := randomMatrix(120, 8, 13)
+	ga, err := Homogenize(w, 3, DefaultGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := Anneal(w, 3, DefaultSAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("GA %.4f vs SA %.4f (natural %.4f)", ga.Distance, sa.Distance, ga.NaturalDistance)
+	if sa.Distance > ga.Distance*2 {
+		t.Fatalf("SA (%.4f) not competitive with GA (%.4f)", sa.Distance, ga.Distance)
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	w := randomMatrix(10, 2, 14)
+	if _, err := Anneal(w, 0, DefaultSAConfig()); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	bad := DefaultSAConfig()
+	bad.Iterations = 0
+	if _, err := Anneal(w, 2, bad); err == nil {
+		t.Fatal("accepted zero iterations")
+	}
+	bad = DefaultSAConfig()
+	bad.EndTemp = 1
+	bad.StartTemp = 0.01
+	if _, err := Anneal(w, 2, bad); err == nil {
+		t.Fatal("accepted inverted temperatures")
+	}
+}
+
+func TestAnnealK1(t *testing.T) {
+	w := randomMatrix(10, 2, 15)
+	res, err := Anneal(w, 1, DefaultSAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 0 {
+		t.Fatal("K=1 distance should be 0")
+	}
+}
+
+func TestNaturalOrderHelper(t *testing.T) {
+	o := NaturalOrder(4)
+	for i, v := range o {
+		if v != i {
+			t.Fatalf("NaturalOrder = %v", o)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package homog implements the paper's matrix homogenization
+// (Section 4.3, "Enhancing priori knowledge of weight matrix"):
+// reordering the rows of a weight matrix before splitting it across
+// crossbars, so that the K sub-matrices have near-equal column-mean
+// vectors. The objective is Equ. 10 — the total Euclidean distance
+// between the sub-matrix average vectors — minimized with the paper's
+// genetic algorithm (random row-position exchanges), plus a greedy
+// serpentine seeding heuristic and an exhaustive reference for tiny
+// instances.
+package homog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sei/internal/seicore"
+	"sei/internal/tensor"
+)
+
+// Distance evaluates Equ. 10 for a row order: the matrix's rows, in
+// the given order, are split into k contiguous balanced blocks (the
+// same convention seicore uses), and the sum of pairwise L2 distances
+// between block column-mean vectors is returned.
+func Distance(w *tensor.Tensor, order []int, k int) float64 {
+	means := blockMeans(w, order, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			total += l2(means[i], means[j])
+		}
+	}
+	return total
+}
+
+// blockMeans returns the k column-mean vectors of the blocks.
+func blockMeans(w *tensor.Tensor, order []int, k int) [][]float64 {
+	if w.Dims() != 2 {
+		panic(fmt.Sprintf("homog: matrix must be 2-D, got %v", w.Shape()))
+	}
+	m := w.Dim(1)
+	blocks := seicore.SplitOrder(order, k)
+	means := make([][]float64, k)
+	for b, rows := range blocks {
+		mean := make([]float64, m)
+		for _, r := range rows {
+			row := w.Data()[r*m : (r+1)*m]
+			for c, v := range row {
+				mean[c] += v
+			}
+		}
+		for c := range mean {
+			mean[c] /= float64(len(rows))
+		}
+		means[b] = mean
+	}
+	return means
+}
+
+func l2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// RandomOrder returns a uniformly random permutation of n rows.
+func RandomOrder(n int, rng *rand.Rand) []int { return rng.Perm(n) }
+
+// GreedySerpentine is the seeding heuristic: rows sorted by their sum
+// are dealt to the K blocks in serpentine (snake) order, which already
+// balances the block means well when row magnitudes dominate the
+// imbalance. The returned order is the concatenation of the blocks.
+func GreedySerpentine(w *tensor.Tensor, k int) []int {
+	n := w.Dim(0)
+	m := w.Dim(1)
+	type rowSum struct {
+		idx int
+		sum float64
+	}
+	rows := make([]rowSum, n)
+	for r := 0; r < n; r++ {
+		s := 0.0
+		for _, v := range w.Data()[r*m : (r+1)*m] {
+			s += v
+		}
+		rows[r] = rowSum{idx: r, sum: s}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sum > rows[j].sum })
+	// Deal in snake order: 0..k−1, k−1..0, 0..k−1, ...
+	blocks := make([][]int, k)
+	for i, rs := range rows {
+		round := i / k
+		pos := i % k
+		b := pos
+		if round%2 == 1 {
+			b = k - 1 - pos
+		}
+		blocks[b] = append(blocks[b], rs.idx)
+	}
+	// Match the balanced split convention: block sizes must equal
+	// SplitOrder's (first n%k blocks one larger). Snake dealing already
+	// yields sizes within one of each other; rebalance if the shapes
+	// disagree.
+	want := make([]int, k)
+	for b, rows := range seicore.SplitOrder(seicore.NaturalOrder(n), k) {
+		want[b] = len(rows)
+	}
+	rebalance(blocks, want)
+	var order []int
+	for _, b := range blocks {
+		order = append(order, b...)
+	}
+	return order
+}
+
+// rebalance moves trailing rows between blocks until sizes match want.
+func rebalance(blocks [][]int, want []int) {
+	for {
+		from, to := -1, -1
+		for b := range blocks {
+			if len(blocks[b]) > want[b] {
+				from = b
+			}
+			if len(blocks[b]) < want[b] {
+				to = b
+			}
+		}
+		if from == -1 || to == -1 {
+			return
+		}
+		last := blocks[from][len(blocks[from])-1]
+		blocks[from] = blocks[from][:len(blocks[from])-1]
+		blocks[to] = append(blocks[to], last)
+	}
+}
+
+// GAConfig controls the genetic optimization.
+type GAConfig struct {
+	Population  int
+	Generations int
+	// SwapsPerMutation is the maximum number of random row exchanges a
+	// mutation applies (the paper's "randomly exchange the position of
+	// two vectors").
+	SwapsPerMutation int
+	// Elite individuals survive unchanged each generation.
+	Elite int
+	Seed  int64
+}
+
+// DefaultGAConfig converges on the Table-2 matrices within a second.
+func DefaultGAConfig() GAConfig {
+	return GAConfig{
+		Population:       24,
+		Generations:      300,
+		SwapsPerMutation: 3,
+		Elite:            4,
+		Seed:             1,
+	}
+}
+
+// Result is the outcome of a homogenization run.
+type Result struct {
+	Order []int
+	// Distance is Equ. 10 for the returned order; NaturalDistance for
+	// the identity order, for the paper's "80% to 90% reduction" claim.
+	Distance, NaturalDistance float64
+}
+
+// Reduction returns the fractional distance reduction vs natural
+// order.
+func (r Result) Reduction() float64 {
+	if r.NaturalDistance == 0 {
+		return 0
+	}
+	return 1 - r.Distance/r.NaturalDistance
+}
+
+// Homogenize minimizes Equ. 10 with a mutation-only genetic algorithm
+// seeded by the natural order, random orders, and the greedy
+// serpentine heuristic.
+func Homogenize(w *tensor.Tensor, k int, cfg GAConfig) (Result, error) {
+	if w.Dims() != 2 {
+		return Result{}, fmt.Errorf("homog: matrix must be 2-D, got %v", w.Shape())
+	}
+	n := w.Dim(0)
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("homog: cannot split %d rows into %d blocks", n, k)
+	}
+	if cfg.Population < 2 || cfg.Generations < 1 || cfg.SwapsPerMutation < 1 {
+		return Result{}, fmt.Errorf("homog: invalid GA config %+v", cfg)
+	}
+	if cfg.Elite < 1 || cfg.Elite >= cfg.Population {
+		return Result{}, fmt.Errorf("homog: elite %d outside [1,%d)", cfg.Elite, cfg.Population)
+	}
+	natural := seicore.NaturalOrder(n)
+	naturalDist := Distance(w, natural, k)
+	if k == 1 {
+		return Result{Order: natural, Distance: 0, NaturalDistance: 0}, nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type indiv struct {
+		order []int
+		dist  float64
+	}
+	pop := make([]indiv, 0, cfg.Population)
+	add := func(order []int) {
+		pop = append(pop, indiv{order: order, dist: Distance(w, order, k)})
+	}
+	add(natural)
+	add(GreedySerpentine(w, k))
+	for len(pop) < cfg.Population {
+		add(RandomOrder(n, rng))
+	}
+	byDist := func() {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].dist < pop[j].dist })
+	}
+	byDist()
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]indiv, 0, cfg.Population)
+		next = append(next, pop[:cfg.Elite]...)
+		for len(next) < cfg.Population {
+			// Tournament of two.
+			a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+			parent := a
+			if b.dist < a.dist {
+				parent = b
+			}
+			child := append([]int(nil), parent.order...)
+			swaps := 1 + rng.Intn(cfg.SwapsPerMutation)
+			for s := 0; s < swaps; s++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				child[i], child[j] = child[j], child[i]
+			}
+			next = append(next, indiv{order: child, dist: Distance(w, child, k)})
+		}
+		pop = next
+		byDist()
+	}
+	return Result{
+		Order:           pop[0].order,
+		Distance:        pop[0].dist,
+		NaturalDistance: naturalDist,
+	}, nil
+}
+
+// ExhaustiveBest finds the optimal block assignment for tiny matrices
+// (n ≤ 10) by enumerating all permutations. It exists to validate the
+// GA in tests.
+func ExhaustiveBest(w *tensor.Tensor, k int) (Result, error) {
+	n := w.Dim(0)
+	if n > 10 {
+		return Result{}, fmt.Errorf("homog: ExhaustiveBest limited to n ≤ 10, got %d", n)
+	}
+	if k < 1 || k > n {
+		return Result{}, fmt.Errorf("homog: cannot split %d rows into %d blocks", n, k)
+	}
+	natural := seicore.NaturalOrder(n)
+	best := Result{
+		Order:           natural,
+		Distance:        Distance(w, natural, k),
+		NaturalDistance: Distance(w, natural, k),
+	}
+	perm := append([]int(nil), natural...)
+	var recurse func(depth int)
+	recurse = func(depth int) {
+		if depth == n {
+			if d := Distance(w, perm, k); d < best.Distance {
+				best.Distance = d
+				best.Order = append([]int(nil), perm...)
+			}
+			return
+		}
+		for i := depth; i < n; i++ {
+			perm[depth], perm[i] = perm[i], perm[depth]
+			recurse(depth + 1)
+			perm[depth], perm[i] = perm[i], perm[depth]
+		}
+	}
+	recurse(0)
+	return best, nil
+}

@@ -1,0 +1,210 @@
+package homog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sei/internal/seicore"
+	"sei/internal/tensor"
+)
+
+func randomMatrix(n, m int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.New(n, m)
+	for i := range w.Data() {
+		w.Data()[i] = rng.NormFloat64()
+	}
+	return w
+}
+
+func TestDistanceZeroForIdenticalBlocks(t *testing.T) {
+	// Two identical blocks → distance 0.
+	w := tensor.FromSlice([]float64{
+		1, 2,
+		3, 4,
+		1, 2,
+		3, 4,
+	}, 4, 2)
+	order := []int{0, 1, 2, 3}
+	if d := Distance(w, order, 2); d != 0 {
+		t.Fatalf("Distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceHandComputed(t *testing.T) {
+	// Block means: [1,0] and [0,1] → distance √2.
+	w := tensor.FromSlice([]float64{
+		1, 0,
+		0, 1,
+	}, 2, 2)
+	if d := Distance(w, []int{0, 1}, 2); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Distance = %v, want √2", d)
+	}
+}
+
+func TestDistanceOrderInvariantWithinBlocks(t *testing.T) {
+	w := randomMatrix(8, 3, 1)
+	a := Distance(w, []int{0, 1, 2, 3, 4, 5, 6, 7}, 2)
+	b := Distance(w, []int{3, 1, 2, 0, 7, 5, 6, 4}, 2) // same block contents
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("distance depends on within-block order: %v vs %v", a, b)
+	}
+}
+
+// Property: Distance is non-negative and symmetric under block swap.
+func TestDistanceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(8)
+		if n%2 == 1 {
+			n++
+		}
+		w := randomMatrix(n, 1+r.Intn(4), seed)
+		order := RandomOrder(n, r)
+		d := Distance(w, order, 2)
+		if d < 0 {
+			return false
+		}
+		// Swap block halves: pairwise distances unchanged.
+		swapped := append(append([]int(nil), order[n/2:]...), order[:n/2]...)
+		return math.Abs(d-Distance(w, swapped, 2)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedySerpentineIsPermutation(t *testing.T) {
+	w := randomMatrix(17, 4, 2)
+	order := GreedySerpentine(w, 3)
+	if len(order) != 17 {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, 17)
+	for _, idx := range order {
+		if idx < 0 || idx >= 17 || seen[idx] {
+			t.Fatalf("not a permutation: %v", order)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestGreedySerpentineImprovesSortedMatrix(t *testing.T) {
+	// A matrix whose rows grow linearly is the worst case for natural
+	//-order splitting; serpentine should cut the distance sharply.
+	n, m := 60, 4
+	w := tensor.New(n, m)
+	for r := 0; r < n; r++ {
+		for c := 0; c < m; c++ {
+			w.Set(float64(r), r, c)
+		}
+	}
+	natural := Distance(w, seicore.NaturalOrder(n), 3)
+	greedy := Distance(w, GreedySerpentine(w, 3), 3)
+	if greedy > natural*0.2 {
+		t.Fatalf("serpentine distance %v vs natural %v; want ≥80%% reduction", greedy, natural)
+	}
+}
+
+func TestHomogenizeReducesDistance(t *testing.T) {
+	// The paper: "the total distance can be reduced about 80% to 90%
+	// compared with directly splitting the matrix by natural order"
+	// for trained matrices. Random Gaussian matrices behave similarly.
+	w := randomMatrix(120, 8, 3)
+	cfg := DefaultGAConfig()
+	cfg.Generations = 150
+	res, err := Homogenize(w, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance > res.NaturalDistance {
+		t.Fatalf("GA made distance worse: %v > %v", res.Distance, res.NaturalDistance)
+	}
+	if res.Reduction() < 0.5 {
+		t.Fatalf("reduction %.2f too small (dist %v → %v)", res.Reduction(), res.NaturalDistance, res.Distance)
+	}
+	// Returned order must be a permutation.
+	seen := make([]bool, 120)
+	for _, idx := range res.Order {
+		if seen[idx] {
+			t.Fatal("GA order is not a permutation")
+		}
+		seen[idx] = true
+	}
+}
+
+func TestHomogenizeDeterministicWithSeed(t *testing.T) {
+	w := randomMatrix(40, 4, 4)
+	cfg := DefaultGAConfig()
+	cfg.Generations = 50
+	a, _ := Homogenize(w, 2, cfg)
+	b, _ := Homogenize(w, 2, cfg)
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatal("GA is not deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestHomogenizeNearExhaustiveOnTinyInstance(t *testing.T) {
+	w := randomMatrix(8, 2, 5)
+	exact, err := ExhaustiveBest(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGAConfig()
+	cfg.Generations = 200
+	ga, err := Homogenize(w, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Distance > exact.Distance*1.2+1e-9 {
+		t.Fatalf("GA distance %v far from exhaustive optimum %v", ga.Distance, exact.Distance)
+	}
+}
+
+func TestHomogenizeK1Trivial(t *testing.T) {
+	w := randomMatrix(10, 2, 6)
+	res, err := Homogenize(w, 1, DefaultGAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 0 || len(res.Order) != 10 {
+		t.Fatalf("K=1 result %+v", res)
+	}
+}
+
+func TestHomogenizeValidation(t *testing.T) {
+	w := randomMatrix(10, 2, 7)
+	if _, err := Homogenize(w, 0, DefaultGAConfig()); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := Homogenize(w, 11, DefaultGAConfig()); err == nil {
+		t.Fatal("accepted k>n")
+	}
+	bad := DefaultGAConfig()
+	bad.Population = 1
+	if _, err := Homogenize(w, 2, bad); err == nil {
+		t.Fatal("accepted population of 1")
+	}
+	bad = DefaultGAConfig()
+	bad.Elite = 99
+	if _, err := Homogenize(w, 2, bad); err == nil {
+		t.Fatal("accepted elite ≥ population")
+	}
+}
+
+func TestExhaustiveBestRejectsLarge(t *testing.T) {
+	if _, err := ExhaustiveBest(randomMatrix(11, 2, 8), 2); err == nil {
+		t.Fatal("accepted n=11")
+	}
+}
+
+func TestReductionZeroNatural(t *testing.T) {
+	r := Result{Distance: 0, NaturalDistance: 0}
+	if r.Reduction() != 0 {
+		t.Fatal("Reduction with zero natural distance should be 0")
+	}
+}

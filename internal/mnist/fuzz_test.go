@@ -1,0 +1,67 @@
+package mnist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIDXImages hardens the IDX parser against corrupt files: it
+// must either return an error or a structurally valid dataset, never
+// panic or over-allocate.
+func FuzzReadIDXImages(f *testing.F) {
+	// Seed with a valid stream and a few mutations.
+	d := Synthetic(2, 1)
+	var img, lbl bytes.Buffer
+	if err := WriteIDX(d, &img, &lbl); err != nil {
+		f.Fatal(err)
+	}
+	valid := img.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte{})
+	truncatedHeader := append([]byte(nil), valid[:15]...)
+	f.Add(truncatedHeader)
+	corrupt := append([]byte(nil), valid...)
+	corrupt[3] = 0xFF // wrong magic
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		images, err := ReadIDXImages(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, im := range images {
+			s := im.Shape()
+			if len(s) != 3 || s[0] != 1 || s[1] != Side || s[2] != Side {
+				t.Fatalf("parsed image with shape %v", s)
+			}
+			if im.Min() < 0 || im.Max() > 1 {
+				t.Fatal("parsed image outside [0,1]")
+			}
+		}
+	})
+}
+
+// FuzzReadIDXLabels likewise for the label stream.
+func FuzzReadIDXLabels(f *testing.F) {
+	d := Synthetic(3, 2)
+	var img, lbl bytes.Buffer
+	if err := WriteIDX(d, &img, &lbl); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(lbl.Bytes())
+	f.Add([]byte{0, 0, 8, 1, 0, 0, 0, 1, 99}) // out-of-range label
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		labels, err := ReadIDXLabels(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, l := range labels {
+			if l < 0 || l >= NumClasses {
+				t.Fatalf("parsed out-of-range label %d", l)
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package mnist
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sei/internal/tensor"
+)
+
+// IDX magic numbers: 0x00000803 for 3-D uint8 (images), 0x00000801 for
+// 1-D uint8 (labels), per the format description on the MNIST page.
+const (
+	idxMagicImages = 0x00000803
+	idxMagicLabels = 0x00000801
+)
+
+// ReadIDXImages parses an idx3-ubyte stream of 28×28 images into
+// [1,28,28] tensors with pixels scaled to [0,1].
+func ReadIDXImages(r io.Reader) ([]*tensor.Tensor, error) {
+	var hdr [4]uint32
+	if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("mnist: reading IDX image header: %w", err)
+	}
+	if hdr[0] != idxMagicImages {
+		return nil, fmt.Errorf("mnist: bad IDX image magic %#x", hdr[0])
+	}
+	n, rows, cols := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if rows != Side || cols != Side {
+		return nil, fmt.Errorf("mnist: IDX images are %dx%d, want %dx%d", rows, cols, Side, Side)
+	}
+	// Do not trust the header count for allocation: a corrupt file can
+	// claim billions of images. Grow as data actually arrives.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	buf := make([]byte, rows*cols)
+	images := make([]*tensor.Tensor, 0, capHint)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("mnist: reading IDX image %d: %w", i, err)
+		}
+		img := tensor.New(1, Side, Side)
+		d := img.Data()
+		for j, b := range buf {
+			d[j] = float64(b) / 255
+		}
+		images = append(images, img)
+	}
+	return images, nil
+}
+
+// ReadIDXLabels parses an idx1-ubyte stream of labels.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var hdr [2]uint32
+	if err := binary.Read(r, binary.BigEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("mnist: reading IDX label header: %w", err)
+	}
+	if hdr[0] != idxMagicLabels {
+		return nil, fmt.Errorf("mnist: bad IDX label magic %#x", hdr[0])
+	}
+	n := int(hdr[1])
+	// Read in bounded chunks so a corrupt count cannot force a giant
+	// allocation before the stream inevitably runs dry.
+	labels := make([]int, 0, min(n, 1<<16))
+	chunk := make([]byte, 4096)
+	remaining := n
+	for remaining > 0 {
+		want := len(chunk)
+		if want > remaining {
+			want = remaining
+		}
+		if _, err := io.ReadFull(r, chunk[:want]); err != nil {
+			return nil, fmt.Errorf("mnist: reading IDX labels: %w", err)
+		}
+		for _, b := range chunk[:want] {
+			if int(b) >= NumClasses {
+				return nil, fmt.Errorf("mnist: label %d out of range: %d", len(labels), b)
+			}
+			labels = append(labels, int(b))
+		}
+		remaining -= want
+	}
+	return labels, nil
+}
+
+// openMaybeGzip opens path, or path+".gz" with transparent
+// decompression if the plain file does not exist.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	if f, err := os.Open(path); err == nil {
+		return f, nil
+	}
+	f, err := os.Open(path + ".gz")
+	if err != nil {
+		return nil, err
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzipFile{zr: zr, f: f}, nil
+}
+
+type gzipFile struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipFile) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipFile) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+// loadIDXPair loads one images/labels file pair into a Dataset.
+func loadIDXPair(imgPath, lblPath string) (*Dataset, error) {
+	ir, err := openMaybeGzip(imgPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ir.Close()
+	lr, err := openMaybeGzip(lblPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lr.Close()
+	images, err := ReadIDXImages(ir)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := ReadIDXLabels(lr)
+	if err != nil {
+		return nil, err
+	}
+	if len(images) != len(labels) {
+		return nil, fmt.Errorf("mnist: %d images but %d labels in %s", len(images), len(labels), imgPath)
+	}
+	return &Dataset{Images: images, Labels: labels}, nil
+}
+
+// LoadIDXDir loads the standard four MNIST files (train-images-idx3-ubyte
+// etc., optionally gzipped) from dir. It is used when real MNIST data
+// is available; the experiment harnesses fall back to Synthetic
+// otherwise.
+func LoadIDXDir(dir string) (train, test *Dataset, err error) {
+	train, err = loadIDXPair(
+		filepath.Join(dir, "train-images-idx3-ubyte"),
+		filepath.Join(dir, "train-labels-idx1-ubyte"))
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = loadIDXPair(
+		filepath.Join(dir, "t10k-images-idx3-ubyte"),
+		filepath.Join(dir, "t10k-labels-idx1-ubyte"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// WriteIDX writes the dataset in IDX format (one images file, one
+// labels file), for interoperability tests and for exporting synthetic
+// data to other tools.
+func WriteIDX(d *Dataset, imgW, lblW io.Writer) error {
+	ih := [4]uint32{idxMagicImages, uint32(d.Len()), Side, Side}
+	if err := binary.Write(imgW, binary.BigEndian, ih); err != nil {
+		return err
+	}
+	buf := make([]byte, Side*Side)
+	for _, img := range d.Images {
+		for j, v := range img.Data() {
+			p := int(v*255 + 0.5)
+			if p < 0 {
+				p = 0
+			} else if p > 255 {
+				p = 255
+			}
+			buf[j] = byte(p)
+		}
+		if _, err := imgW.Write(buf); err != nil {
+			return err
+		}
+	}
+	lh := [2]uint32{idxMagicLabels, uint32(d.Len())}
+	if err := binary.Write(lblW, binary.BigEndian, lh); err != nil {
+		return err
+	}
+	lbl := make([]byte, d.Len())
+	for i, l := range d.Labels {
+		lbl[i] = byte(l)
+	}
+	_, err := lblW.Write(lbl)
+	return err
+}

@@ -1,0 +1,341 @@
+package mnist
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"sei/internal/tensor"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(20, 42)
+	b := Synthetic(20, 42)
+	if a.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", a.Len())
+	}
+	for i := range a.Images {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("labels diverge at %d", i)
+		}
+		if !tensor.EqualApprox(a.Images[i], b.Images[i], 0) {
+			t.Fatalf("images diverge at %d", i)
+		}
+	}
+}
+
+func TestSyntheticSeedsDiffer(t *testing.T) {
+	a := Synthetic(10, 1)
+	b := Synthetic(10, 2)
+	same := true
+	for i := range a.Images {
+		if !tensor.EqualApprox(a.Images[i], b.Images[i], 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSyntheticValid(t *testing.T) {
+	d := Synthetic(50, 3)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticClassBalance(t *testing.T) {
+	d := Synthetic(200, 4)
+	counts := d.ClassCounts()
+	for c, n := range counts {
+		if n != 20 {
+			t.Fatalf("class %d has %d samples, want 20 (counts %v)", c, n, counts)
+		}
+	}
+}
+
+func TestSyntheticImagesHaveInk(t *testing.T) {
+	d := Synthetic(40, 5)
+	for i, img := range d.Images {
+		frac := img.FractionAbove(0.5)
+		if frac < 0.01 {
+			t.Fatalf("image %d (label %d) nearly blank: %.4f ink fraction", i, d.Labels[i], frac)
+		}
+		if frac > 0.6 {
+			t.Fatalf("image %d (label %d) nearly solid: %.4f ink fraction", i, d.Labels[i], frac)
+		}
+	}
+}
+
+// Different digits must be visually distinct on average, otherwise the
+// classification task is degenerate. Compare undistorted-ish class
+// means pairwise.
+func TestSyntheticClassesDistinct(t *testing.T) {
+	opt := DefaultGenOptions()
+	opt.Rotate, opt.ScaleJit, opt.Shear, opt.Translate, opt.Jitter, opt.Noise = 0, 0, 0, 0, 0, 0
+	d := SyntheticWithOptions(40, 9, opt)
+	means := make([]*tensor.Tensor, NumClasses)
+	counts := make([]int, NumClasses)
+	for i, img := range d.Images {
+		l := d.Labels[i]
+		if means[l] == nil {
+			means[l] = tensor.New(1, Side, Side)
+		}
+		means[l].AddInPlace(img)
+		counts[l]++
+	}
+	for c := range means {
+		if counts[c] == 0 {
+			t.Fatalf("class %d unseen", c)
+		}
+		means[c].Scale(1 / float64(counts[c]))
+	}
+	for a := 0; a < NumClasses; a++ {
+		for b := a + 1; b < NumClasses; b++ {
+			if dist := tensor.L2Distance(means[a], means[b]); dist < 0.5 {
+				t.Fatalf("digits %d and %d are nearly identical (L2 %.3f)", a, b, dist)
+			}
+		}
+	}
+}
+
+func TestSyntheticSplitDisjointStreams(t *testing.T) {
+	train, test := SyntheticSplit(30, 30, 7)
+	if train.Len() != 30 || test.Len() != 30 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Same index, same label cycle position — but different streams, so
+	// the images must differ.
+	identical := 0
+	for i := range train.Images {
+		if tensor.EqualApprox(train.Images[i], test.Images[i], 0) {
+			identical++
+		}
+	}
+	if identical > 0 {
+		t.Fatalf("%d train/test images identical; streams not independent", identical)
+	}
+}
+
+func TestSubsetClamps(t *testing.T) {
+	d := Synthetic(10, 1)
+	if d.Subset(100).Len() != 10 {
+		t.Fatal("Subset did not clamp")
+	}
+	if d.Subset(3).Len() != 3 {
+		t.Fatal("Subset wrong length")
+	}
+}
+
+func TestShuffleKeepsPairs(t *testing.T) {
+	d := Synthetic(30, 8)
+	type pair struct {
+		sum   float64
+		label int
+	}
+	before := map[pair]int{}
+	for i, img := range d.Images {
+		before[pair{img.Sum(), d.Labels[i]}]++
+	}
+	d.Shuffle(rand.New(rand.NewSource(1)))
+	after := map[pair]int{}
+	for i, img := range d.Images {
+		after[pair{img.Sum(), d.Labels[i]}]++
+	}
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed the multiset of samples")
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatal("shuffle broke an image/label pairing")
+		}
+	}
+}
+
+func TestValidateCatchesBadLabel(t *testing.T) {
+	d := Synthetic(5, 1)
+	d.Labels[2] = 11
+	if d.Validate() == nil {
+		t.Fatal("Validate accepted out-of-range label")
+	}
+}
+
+func TestValidateCatchesBadShape(t *testing.T) {
+	d := Synthetic(5, 1)
+	d.Images[0] = tensor.New(1, 5, 5)
+	if d.Validate() == nil {
+		t.Fatal("Validate accepted wrong image shape")
+	}
+}
+
+func TestIDXRoundTrip(t *testing.T) {
+	d := Synthetic(17, 6)
+	var imgBuf, lblBuf bytes.Buffer
+	if err := WriteIDX(d, &imgBuf, &lblBuf); err != nil {
+		t.Fatal(err)
+	}
+	images, err := ReadIDXImages(&imgBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ReadIDXLabels(&lblBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) != 17 || len(labels) != 17 {
+		t.Fatalf("round trip lengths %d/%d", len(images), len(labels))
+	}
+	for i := range images {
+		if labels[i] != d.Labels[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		// 8-bit quantization error bound: half a level.
+		if !tensor.EqualApprox(images[i], d.Images[i], 0.5/255+1e-9) {
+			t.Fatalf("image %d drifted beyond quantization error", i)
+		}
+	}
+}
+
+func TestReadIDXRejectsBadMagic(t *testing.T) {
+	if _, err := ReadIDXImages(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Fatal("accepted zero magic for images")
+	}
+	if _, err := ReadIDXLabels(bytes.NewReader(make([]byte, 8))); err == nil {
+		t.Fatal("accepted zero magic for labels")
+	}
+}
+
+func TestReadIDXRejectsTruncated(t *testing.T) {
+	d := Synthetic(3, 2)
+	var imgBuf, lblBuf bytes.Buffer
+	if err := WriteIDX(d, &imgBuf, &lblBuf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := imgBuf.Bytes()[:imgBuf.Len()-10]
+	if _, err := ReadIDXImages(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated image stream")
+	}
+}
+
+func TestLoadIDXDirMissing(t *testing.T) {
+	if _, _, err := LoadIDXDir(t.TempDir()); err == nil {
+		t.Fatal("LoadIDXDir succeeded on empty dir")
+	}
+}
+
+// writeIDXFiles writes a dataset pair to dir under the standard MNIST
+// names, optionally gzipped.
+func writeIDXFiles(t *testing.T, dir, imgName, lblName string, d *Dataset, gzipped bool) {
+	t.Helper()
+	var imgBuf, lblBuf bytes.Buffer
+	if err := WriteIDX(d, &imgBuf, &lblBuf); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		path := filepath.Join(dir, name)
+		if gzipped {
+			var z bytes.Buffer
+			zw := gzip.NewWriter(&z)
+			if _, err := zw.Write(data); err != nil {
+				t.Fatal(err)
+			}
+			if err := zw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			data = z.Bytes()
+			path += ".gz"
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(imgName, imgBuf.Bytes())
+	write(lblName, lblBuf.Bytes())
+}
+
+func TestLoadIDXDirPlainAndGzip(t *testing.T) {
+	for _, gzipped := range []bool{false, true} {
+		dir := t.TempDir()
+		train := Synthetic(12, 31)
+		test := Synthetic(6, 32)
+		writeIDXFiles(t, dir, "train-images-idx3-ubyte", "train-labels-idx1-ubyte", train, gzipped)
+		writeIDXFiles(t, dir, "t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", test, gzipped)
+		gotTrain, gotTest, err := LoadIDXDir(dir)
+		if err != nil {
+			t.Fatalf("gzipped=%v: %v", gzipped, err)
+		}
+		if gotTrain.Len() != 12 || gotTest.Len() != 6 {
+			t.Fatalf("gzipped=%v: sizes %d/%d", gzipped, gotTrain.Len(), gotTest.Len())
+		}
+		for i := range gotTrain.Labels {
+			if gotTrain.Labels[i] != train.Labels[i] {
+				t.Fatalf("gzipped=%v: label %d mismatch", gzipped, i)
+			}
+		}
+		if err := gotTrain.Validate(); err != nil {
+			t.Fatalf("gzipped=%v: %v", gzipped, err)
+		}
+	}
+}
+
+func TestLoadIDXDirCorruptGzip(t *testing.T) {
+	dir := t.TempDir()
+	// A .gz file that isn't gzip must fail cleanly.
+	if err := os.WriteFile(filepath.Join(dir, "train-images-idx3-ubyte.gz"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "train-labels-idx1-ubyte"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadIDXDir(dir); err == nil {
+		t.Fatal("accepted corrupt gzip")
+	}
+}
+
+func TestLoadIDXDirMismatchedCounts(t *testing.T) {
+	dir := t.TempDir()
+	train := Synthetic(5, 1)
+	labels := Synthetic(7, 2)
+	var imgBuf, lblBuf, lblBuf2 bytes.Buffer
+	if err := WriteIDX(train, &imgBuf, &lblBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDX(labels, &bytes.Buffer{}, &lblBuf2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "train-images-idx3-ubyte"), imgBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "train-labels-idx1-ubyte"), lblBuf2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadIDXDir(dir); err == nil {
+		t.Fatal("accepted mismatched image/label counts")
+	}
+}
+
+// Property: every rendered digit has finite pixel values in [0,1] for
+// arbitrary seeds.
+func TestSyntheticPixelRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := Synthetic(NumClasses, seed)
+		for _, img := range d.Images {
+			for _, v := range img.Data() {
+				if math.IsNaN(v) || v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"sei/internal/mnist"
+)
+
+// ConfusionMatrix evaluates a classifier and returns counts[target][predicted].
+func ConfusionMatrix(c Classifier, data *mnist.Dataset) [][]int {
+	cm := make([][]int, mnist.NumClasses)
+	for i := range cm {
+		cm[i] = make([]int, mnist.NumClasses)
+	}
+	for i, img := range data.Images {
+		pred := c.Predict(img)
+		if pred >= 0 && pred < mnist.NumClasses {
+			cm[data.Labels[i]][pred]++
+		}
+	}
+	return cm
+}
+
+// PerClassError returns each class's error rate from a confusion
+// matrix (NaN-free: classes with no samples report 0).
+func PerClassError(cm [][]int) []float64 {
+	out := make([]float64, len(cm))
+	for t, row := range cm {
+		total, correct := 0, 0
+		for p, n := range row {
+			total += n
+			if p == t {
+				correct += n
+			}
+		}
+		if total > 0 {
+			out[t] = 1 - float64(correct)/float64(total)
+		}
+	}
+	return out
+}
+
+// PrintConfusion renders the matrix with per-class error rates.
+func PrintConfusion(w io.Writer, cm [][]int) {
+	fmt.Fprintf(w, "      ")
+	for p := range cm {
+		fmt.Fprintf(w, "%5d", p)
+	}
+	fmt.Fprintf(w, "   err\n")
+	errs := PerClassError(cm)
+	for t, row := range cm {
+		fmt.Fprintf(w, "  %2d: ", t)
+		for _, n := range row {
+			fmt.Fprintf(w, "%5d", n)
+		}
+		fmt.Fprintf(w, " %5.1f%%\n", 100*errs[t])
+	}
+}
+
+// MostConfusedPair returns the (target, predicted) off-diagonal cell
+// with the highest count — the single most frequent mistake.
+func MostConfusedPair(cm [][]int) (target, predicted, count int) {
+	for t, row := range cm {
+		for p, n := range row {
+			if t != p && n > count {
+				target, predicted, count = t, p, n
+			}
+		}
+	}
+	return target, predicted, count
+}

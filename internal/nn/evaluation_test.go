@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sei/internal/mnist"
+)
+
+func TestConfusionMatrixSums(t *testing.T) {
+	data := mnist.Synthetic(120, 9)
+	net := NewTableNetwork(2, 3)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	Train(net, data, cfg)
+	cm := ConfusionMatrix(net, data)
+	total := 0
+	diag := 0
+	for tgt, row := range cm {
+		for p, n := range row {
+			total += n
+			if tgt == p {
+				diag += n
+			}
+		}
+	}
+	if total != data.Len() {
+		t.Fatalf("confusion total %d, want %d", total, data.Len())
+	}
+	// Error rate from the matrix must equal ErrorRate.
+	want := ErrorRate(net, data)
+	got := 1 - float64(diag)/float64(total)
+	if got != want {
+		t.Fatalf("matrix error %.4f, ErrorRate %.4f", got, want)
+	}
+}
+
+func TestPerClassErrorAndPrint(t *testing.T) {
+	cm := make([][]int, mnist.NumClasses)
+	for i := range cm {
+		cm[i] = make([]int, mnist.NumClasses)
+	}
+	cm[0][0] = 8
+	cm[0][1] = 2 // class 0: 20% error
+	cm[1][1] = 5 // class 1: perfect
+	errs := PerClassError(cm)
+	if math.Abs(errs[0]-0.2) > 1e-12 || errs[1] != 0 {
+		t.Fatalf("per-class errors %v", errs[:2])
+	}
+	if errs[5] != 0 {
+		t.Fatal("empty class should report 0")
+	}
+	var buf bytes.Buffer
+	PrintConfusion(&buf, cm)
+	if !strings.Contains(buf.String(), "20.0%") {
+		t.Fatalf("print missing per-class error:\n%s", buf.String())
+	}
+}
+
+func TestMostConfusedPair(t *testing.T) {
+	cm := make([][]int, mnist.NumClasses)
+	for i := range cm {
+		cm[i] = make([]int, mnist.NumClasses)
+	}
+	cm[3][3] = 100 // diagonal must be ignored
+	cm[3][8] = 7
+	cm[9][4] = 11
+	tgt, pred, n := MostConfusedPair(cm)
+	if tgt != 9 || pred != 4 || n != 11 {
+		t.Fatalf("MostConfusedPair = (%d,%d,%d)", tgt, pred, n)
+	}
+}

@@ -1,0 +1,362 @@
+// Package nn is a from-scratch convolutional neural network framework:
+// the software substrate the paper trains its three MNIST CNNs with
+// (Table 2). It provides valid-convolution, ReLU, max-pooling, flatten
+// and fully-connected layers, softmax cross-entropy training with
+// SGD+momentum backprop, deterministic seeded initialization, model
+// (de)serialization, and per-layer activation taps used by the
+// quantizer (Algorithm 1) and the data-distribution analysis
+// (Table 1).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sei/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+func newParam(shape ...int) *Param {
+	return &Param{Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// Layer is one stage of a feed-forward network. Forward caches
+// whatever it needs for the matching Backward call, so a Layer is
+// stateful and not safe for concurrent use.
+type Layer interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Forward computes the layer output for one sample.
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	// Backward takes dLoss/dOutput and returns dLoss/dInput,
+	// accumulating parameter gradients. It must follow a Forward call.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly none).
+	Params() []*Param
+	// OutShape returns the output shape for a given input shape.
+	OutShape(in []int) []int
+}
+
+// Conv2D is a valid (no-padding) convolution layer with weight shape
+// [Filters, InChannels, KH, KW]. Following the paper ("the bias vector
+// ... is only used in FC layer"), convolution has no bias term by
+// default; WithBias enables one.
+type Conv2D struct {
+	Filters    int
+	InChannels int
+	KH, KW     int
+	Stride     int
+	Weight     *Param
+	Bias       *Param // nil when the layer has no bias
+
+	lastIn   *tensor.Tensor
+	lastCols *tensor.Tensor
+}
+
+// NewConv2D creates a convolution layer with He-normal initialized
+// weights drawn from rng.
+func NewConv2D(filters, inChannels, kh, kw, stride int, rng *rand.Rand) *Conv2D {
+	if filters <= 0 || inChannels <= 0 || kh <= 0 || kw <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2D config %d/%d/%dx%d/s%d", filters, inChannels, kh, kw, stride))
+	}
+	c := &Conv2D{
+		Filters:    filters,
+		InChannels: inChannels,
+		KH:         kh,
+		KW:         kw,
+		Stride:     stride,
+		Weight:     newParam(filters, inChannels, kh, kw),
+	}
+	fanIn := inChannels * kh * kw
+	std := math.Sqrt(2 / float64(fanIn))
+	for i := range c.Weight.Value.Data() {
+		c.Weight.Value.Data()[i] = rng.NormFloat64() * std
+	}
+	return c
+}
+
+// WithBias adds a zero-initialized per-filter bias and returns the
+// layer for chaining.
+func (c *Conv2D) WithBias() *Conv2D {
+	c.Bias = newParam(c.Filters)
+	return c
+}
+
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv%dx%dx%d", c.KH, c.KW, c.Filters)
+}
+
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+func (c *Conv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.InChannels {
+		panic(fmt.Sprintf("nn: %s input shape %v, want [%d h w]", c.Name(), in, c.InChannels))
+	}
+	outH := (in[1]-c.KH)/c.Stride + 1
+	outW := (in[2]-c.KW)/c.Stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: %s input %v too small", c.Name(), in))
+	}
+	return []int{c.Filters, outH, outW}
+}
+
+func (c *Conv2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	out := c.OutShape(in.Shape())
+	cols := tensor.Im2Col(in, c.KH, c.KW, c.Stride) // [P, fanIn]
+	c.lastIn, c.lastCols = in, cols
+	wmat := c.Weight.Value.Reshape(c.Filters, c.InChannels*c.KH*c.KW)
+	prod := tensor.MatMul(wmat, tensor.Transpose2D(cols)) // [F, P]
+	if c.Bias != nil {
+		b := c.Bias.Value.Data()
+		p := out[1] * out[2]
+		for f := 0; f < c.Filters; f++ {
+			row := prod.Data()[f*p : (f+1)*p]
+			for i := range row {
+				row[i] += b[f]
+			}
+		}
+	}
+	return prod.Reshape(out...)
+}
+
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastIn == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	f := c.Filters
+	p := grad.Len() / f
+	g := grad.Reshape(f, p) // [F, P]
+
+	// dW = g · cols  →  [F, fanIn]
+	dw := tensor.MatMul(g, c.lastCols)
+	c.Weight.Grad.Reshape(f, c.InChannels*c.KH*c.KW).AddInPlace(dw)
+
+	if c.Bias != nil {
+		bg := c.Bias.Grad.Data()
+		for fi := 0; fi < f; fi++ {
+			row := g.Data()[fi*p : (fi+1)*p]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			bg[fi] += s
+		}
+	}
+
+	// dCols = gᵀ · W  →  [P, fanIn], then scatter back with Col2Im.
+	wmat := c.Weight.Value.Reshape(f, c.InChannels*c.KH*c.KW)
+	dcols := tensor.MatMul(tensor.Transpose2D(g), wmat)
+	in := c.lastIn.Shape()
+	return tensor.Col2Im(dcols, in[0], in[1], in[2], c.KH, c.KW, c.Stride)
+}
+
+// ReLU applies max(x, 0) element-wise.
+type ReLU struct {
+	lastIn *tensor.Tensor
+}
+
+func NewReLU() *ReLU { return &ReLU{} }
+
+func (r *ReLU) Name() string            { return "relu" }
+func (r *ReLU) Params() []*Param        { return nil }
+func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
+	r.lastIn = in
+	out := in.Clone()
+	for i, v := range out.Data() {
+		if v < 0 {
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastIn == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	out := grad.Clone()
+	for i, v := range r.lastIn.Data() {
+		if v <= 0 {
+			out.Data()[i] = 0
+		}
+	}
+	return out
+}
+
+// MaxPool2D pools non-overlapping Size×Size windows (stride == Size),
+// discarding ragged edges, exactly as the paper's 2×2 pooling stages
+// do (e.g. 11×11 → 5×5 in Network 2).
+type MaxPool2D struct {
+	Size int
+
+	lastArg []int // flat input index of each output's max
+	inShape []int
+}
+
+func NewMaxPool2D(size int) *MaxPool2D {
+	if size <= 0 {
+		panic("nn: MaxPool2D size must be positive")
+	}
+	return &MaxPool2D{Size: size}
+}
+
+func (m *MaxPool2D) Name() string     { return fmt.Sprintf("maxpool%d", m.Size) }
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+func (m *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s input shape %v, want 3-D", m.Name(), in))
+	}
+	return []int{in[0], in[1] / m.Size, in[2] / m.Size}
+}
+
+func (m *MaxPool2D) Forward(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	os := m.OutShape(s)
+	out := tensor.New(os...)
+	m.lastArg = make([]int, out.Len())
+	m.inShape = s
+	c, h, w := s[0], s[1], s[2]
+	oh, ow := os[1], os[2]
+	o := 0
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				bi := -1
+				for ky := 0; ky < m.Size; ky++ {
+					row := base + (oy*m.Size+ky)*w + ox*m.Size
+					for kx := 0; kx < m.Size; kx++ {
+						if v := in.Data()[row+kx]; v > best {
+							best, bi = v, row+kx
+						}
+					}
+				}
+				out.Data()[o] = best
+				m.lastArg[o] = bi
+				o++
+			}
+		}
+	}
+	return out
+}
+
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.lastArg == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	out := tensor.New(m.inShape...)
+	for o, idx := range m.lastArg {
+		out.Data()[idx] += grad.Data()[o]
+	}
+	return out
+}
+
+// Flatten reshapes any input to a vector.
+type Flatten struct {
+	inShape []int
+}
+
+func NewFlatten() *Flatten { return &Flatten{} }
+
+func (f *Flatten) Name() string     { return "flatten" }
+func (f *Flatten) Params() []*Param { return nil }
+
+func (f *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+func (f *Flatten) Forward(in *tensor.Tensor) *tensor.Tensor {
+	f.inShape = in.Shape()
+	return in.Reshape(in.Len())
+}
+
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten.Backward before Forward")
+	}
+	return grad.Reshape(f.inShape...)
+}
+
+// Dense is a fully-connected layer: out = W·in + b, with weight shape
+// [Out, In]. Matching the paper, FC layers always carry a bias.
+type Dense struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	lastIn *tensor.Tensor
+}
+
+// NewDense creates a fully-connected layer with He-normal weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Dense config %dx%d", in, out))
+	}
+	d := &Dense{In: in, Out: out, Weight: newParam(out, in), Bias: newParam(out)}
+	std := math.Sqrt(2 / float64(in))
+	for i := range d.Weight.Value.Data() {
+		d.Weight.Value.Data()[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+func (d *Dense) Name() string     { return fmt.Sprintf("fc%dx%d", d.In, d.Out) }
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+func (d *Dense) OutShape(in []int) []int {
+	if len(in) != 1 || in[0] != d.In {
+		panic(fmt.Sprintf("nn: %s input shape %v, want [%d]", d.Name(), in, d.In))
+	}
+	return []int{d.Out}
+}
+
+func (d *Dense) Forward(in *tensor.Tensor) *tensor.Tensor {
+	d.OutShape(in.Shape())
+	d.lastIn = in
+	y := tensor.MatVec(d.Weight.Value, in.Data())
+	b := d.Bias.Value.Data()
+	for i := range y {
+		y[i] += b[i]
+	}
+	return tensor.FromSlice(y, d.Out)
+}
+
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastIn == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	g := grad.Data()
+	in := d.lastIn.Data()
+	wg := d.Weight.Grad.Data()
+	for o := 0; o < d.Out; o++ {
+		go_ := g[o]
+		if go_ != 0 {
+			row := wg[o*d.In : (o+1)*d.In]
+			for j, x := range in {
+				row[j] += go_ * x
+			}
+		}
+		d.Bias.Grad.Data()[o] += go_
+	}
+	dx := tensor.MatVecT(d.Weight.Value, g)
+	return tensor.FromSlice(dx, d.In)
+}

@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sei/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dx[i] by central differences, where
+// loss(x) = Σ c_j · layer(x)_j for fixed random coefficients c.
+func checkLayerGradients(t *testing.T, l Layer, inShape []int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in := tensor.New(inShape...)
+	for i := range in.Data() {
+		in.Data()[i] = rng.NormFloat64()
+	}
+	out := l.Forward(in)
+	coef := make([]float64, out.Len())
+	for i := range coef {
+		coef[i] = rng.NormFloat64()
+	}
+	loss := func(o *tensor.Tensor) float64 {
+		s := 0.0
+		for i, v := range o.Data() {
+			s += coef[i] * v
+		}
+		return s
+	}
+
+	// Analytic gradients.
+	for _, p := range l.Params() {
+		p.Grad.Zero()
+	}
+	upstream := tensor.FromSlice(append([]float64(nil), coef...), out.Shape()...)
+	dIn := l.Backward(upstream)
+
+	const eps = 1e-5
+	const tol = 1e-4
+
+	// Input gradient.
+	for i := 0; i < in.Len(); i += 1 + in.Len()/20 { // sample ~20 coords
+		orig := in.Data()[i]
+		in.Data()[i] = orig + eps
+		lp := loss(l.Forward(in))
+		in.Data()[i] = orig - eps
+		lm := loss(l.Forward(in))
+		in.Data()[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if diff := math.Abs(num - dIn.Data()[i]); diff > tol*(1+math.Abs(num)) {
+			t.Fatalf("%s: input grad [%d]: analytic %g vs numeric %g", l.Name(), i, dIn.Data()[i], num)
+		}
+	}
+
+	// Parameter gradients.
+	for pi, p := range l.Params() {
+		for i := 0; i < p.Value.Len(); i += 1 + p.Value.Len()/20 {
+			orig := p.Value.Data()[i]
+			p.Value.Data()[i] = orig + eps
+			lp := loss(l.Forward(in))
+			p.Value.Data()[i] = orig - eps
+			lm := loss(l.Forward(in))
+			p.Value.Data()[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if diff := math.Abs(num - p.Grad.Data()[i]); diff > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s: param %d grad [%d]: analytic %g vs numeric %g", l.Name(), pi, i, p.Grad.Data()[i], num)
+			}
+		}
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	checkLayerGradients(t, NewConv2D(4, 2, 3, 3, 1, rng), []int{2, 7, 6}, 10)
+}
+
+func TestConv2DWithBiasGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	checkLayerGradients(t, NewConv2D(3, 1, 2, 2, 1, rng).WithBias(), []int{1, 5, 5}, 11)
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	checkLayerGradients(t, NewConv2D(2, 2, 3, 3, 2, rng), []int{2, 9, 9}, 12)
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	checkLayerGradients(t, NewDense(12, 7, rng), []int{12}, 13)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	in := tensor.FromSlice([]float64{-2, -0.5, 0, 1, 3}, 5)
+	out := r.Forward(in)
+	want := []float64{0, 0, 0, 1, 3}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("ReLU forward = %v, want %v", out.Data(), want)
+		}
+	}
+	grad := r.Backward(tensor.FromSlice([]float64{1, 1, 1, 1, 1}, 5))
+	wantG := []float64{0, 0, 0, 1, 1}
+	for i, v := range wantG {
+		if grad.Data()[i] != v {
+			t.Fatalf("ReLU backward = %v, want %v", grad.Data(), wantG)
+		}
+	}
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	in := tensor.FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		0, 0, 1, 1,
+		9, 0, 1, 2,
+	}, 1, 4, 4)
+	p := NewMaxPool2D(2)
+	out := p.Forward(in)
+	want := []float64{4, 8, 9, 2}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Fatalf("MaxPool forward = %v, want %v", out.Data(), want)
+		}
+	}
+}
+
+func TestMaxPoolDropsRaggedEdge(t *testing.T) {
+	// 5×5 input with 2×2 pooling → 2×2 output (paper: 11×11 → 5×5).
+	p := NewMaxPool2D(2)
+	out := p.Forward(tensor.New(3, 5, 5))
+	s := out.Shape()
+	if s[0] != 3 || s[1] != 2 || s[2] != 2 {
+		t.Fatalf("ragged pool shape %v, want [3 2 2]", s)
+	}
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	in := tensor.FromSlice([]float64{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	p := NewMaxPool2D(2)
+	p.Forward(in)
+	g := p.Backward(tensor.FromSlice([]float64{10}, 1, 1, 1))
+	want := []float64{0, 0, 0, 10}
+	for i, v := range want {
+		if g.Data()[i] != v {
+			t.Fatalf("MaxPool backward = %v, want %v", g.Data(), want)
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	in := tensor.New(2, 3, 4)
+	out := f.Forward(in)
+	if out.Dims() != 1 || out.Len() != 24 {
+		t.Fatalf("Flatten forward shape %v", out.Shape())
+	}
+	back := f.Backward(tensor.New(24))
+	if back.Dims() != 3 {
+		t.Fatalf("Flatten backward shape %v", back.Shape())
+	}
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	layers := []Layer{
+		NewConv2D(1, 1, 2, 2, 1, rng),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(2, 2, rng),
+	}
+	for _, l := range layers {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Backward before Forward did not panic", l.Name())
+				}
+			}()
+			l.Backward(tensor.New(2))
+		}()
+	}
+}
+
+func TestConv2DOutShapeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(2, 3, 3, 3, 1, rng)
+	for _, in := range [][]int{{2, 5, 5}, {3, 2, 2}, {3, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OutShape(%v) did not panic", in)
+				}
+			}()
+			c.OutShape(in)
+		}()
+	}
+	out := c.OutShape([]int{3, 6, 7})
+	if out[0] != 2 || out[1] != 4 || out[2] != 5 {
+		t.Fatalf("OutShape = %v, want [2 4 5]", out)
+	}
+}
+
+func TestHeInitScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(64, 8, 3, 3, 1, rng)
+	std := c.Weight.Value.Std()
+	wantStd := math.Sqrt(2.0 / (8 * 3 * 3))
+	if std < wantStd*0.8 || std > wantStd*1.2 {
+		t.Fatalf("He init std %.4f, want ≈%.4f", std, wantStd)
+	}
+	if math.Abs(c.Weight.Value.Mean()) > 0.02 {
+		t.Fatalf("He init mean %.4f, want ≈0", c.Weight.Value.Mean())
+	}
+}

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The three 4-layer CNNs of the paper's Table 2. All take a 28×28
+// single-channel input; pooling is 2×2. "4-layer" counts input, two
+// Conv layers and one FC layer, as the paper does.
+//
+//	Network 1: 12×(5×5) conv → pool → 64×(5×5) conv → pool → FC 1024→10
+//	Network 2:  4×(3×3) conv → pool →  8×(3×3) conv → pool → FC  200→10
+//	Network 3:  6×(3×3) conv → pool → 12×(3×3) conv → pool → FC  300→10
+
+// NetworkSpec describes one Table-2 configuration.
+type NetworkSpec struct {
+	Name              string
+	Conv1Filters      int
+	Conv1Kernel       int
+	Conv2Filters      int
+	Conv2Kernel       int
+	FCIn              int
+	FCOut             int
+	WeightMatrix1Rows int // Conv-kernel matrix as mapped on RRAM (paper row "Weight Matrix 1")
+	WeightMatrix1Cols int
+	WeightMatrix2Rows int
+	WeightMatrix2Cols int
+}
+
+// Specs returns the three paper configurations, indexed 1–3.
+func Specs() map[int]NetworkSpec {
+	return map[int]NetworkSpec{
+		1: {
+			Name:         "Network1",
+			Conv1Filters: 12, Conv1Kernel: 5,
+			Conv2Filters: 64, Conv2Kernel: 5,
+			FCIn: 1024, FCOut: 10,
+			WeightMatrix1Rows: 25, WeightMatrix1Cols: 12,
+			WeightMatrix2Rows: 300, WeightMatrix2Cols: 64,
+		},
+		2: {
+			Name:         "Network2",
+			Conv1Filters: 4, Conv1Kernel: 3,
+			Conv2Filters: 8, Conv2Kernel: 3,
+			FCIn: 200, FCOut: 10,
+			WeightMatrix1Rows: 9, WeightMatrix1Cols: 4,
+			WeightMatrix2Rows: 36, WeightMatrix2Cols: 8,
+		},
+		3: {
+			Name:         "Network3",
+			Conv1Filters: 6, Conv1Kernel: 3,
+			Conv2Filters: 12, Conv2Kernel: 3,
+			FCIn: 300, FCOut: 10,
+			WeightMatrix1Rows: 9, WeightMatrix1Cols: 6,
+			WeightMatrix2Rows: 54, WeightMatrix2Cols: 12,
+		},
+	}
+}
+
+// NewTableNetwork builds Table-2 network id (1, 2 or 3) with
+// seed-deterministic initialization.
+func NewTableNetwork(id int, seed int64) *Network {
+	spec, ok := Specs()[id]
+	if !ok {
+		panic(fmt.Sprintf("nn: unknown Table-2 network id %d", id))
+	}
+	return NewFromSpec(spec, seed)
+}
+
+// NewDeepNetwork builds a three-conv-stage CNN (28×28 → 8@3×3 → pool →
+// 16@3×3 → 16@3×3 → pool → FC 256×10). It is not one of the paper's
+// Table-2 networks; it exists to demonstrate that the quantization and
+// SEI mapping pipelines generalize beyond two conv stages and to
+// layers without pooling.
+func NewDeepNetwork(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{
+		Name: "DeepNet",
+		Layers: []Layer{
+			NewConv2D(8, 1, 3, 3, 1, rng),
+			NewReLU(),
+			NewMaxPool2D(2),
+			NewConv2D(16, 8, 3, 3, 1, rng),
+			NewReLU(),
+			NewConv2D(16, 16, 3, 3, 1, rng),
+			NewReLU(),
+			NewMaxPool2D(2),
+			NewFlatten(),
+			NewDense(256, 10, rng),
+		},
+	}
+	if _, err := net.CheckShapes([]int{1, 28, 28}); err != nil {
+		panic(fmt.Sprintf("nn: deep network does not compose: %v", err))
+	}
+	return net
+}
+
+// NewFromSpec builds a network from an arbitrary spec, verifying that
+// the layer stack composes to the spec's FC dimensions on a 28×28
+// input.
+func NewFromSpec(spec NetworkSpec, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{
+		Name: spec.Name,
+		Layers: []Layer{
+			NewConv2D(spec.Conv1Filters, 1, spec.Conv1Kernel, spec.Conv1Kernel, 1, rng),
+			NewReLU(),
+			NewMaxPool2D(2),
+			NewConv2D(spec.Conv2Filters, spec.Conv1Filters, spec.Conv2Kernel, spec.Conv2Kernel, 1, rng),
+			NewReLU(),
+			NewMaxPool2D(2),
+			NewFlatten(),
+			NewDense(spec.FCIn, spec.FCOut, rng),
+		},
+	}
+	out, err := net.CheckShapes([]int{1, 28, 28})
+	if err != nil {
+		panic(fmt.Sprintf("nn: spec %q does not compose: %v", spec.Name, err))
+	}
+	if len(out) != 1 || out[0] != spec.FCOut {
+		panic(fmt.Sprintf("nn: spec %q output %v, want [%d]", spec.Name, out, spec.FCOut))
+	}
+	return net
+}

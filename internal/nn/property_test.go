@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sei/internal/mnist"
+	"sei/internal/tensor"
+)
+
+// Property: softmax is invariant under adding a constant to all
+// logits.
+func TestSoftmaxTranslationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		logits := make([]float64, n)
+		shifted := make([]float64, n)
+		c := rng.NormFloat64() * 10
+		for i := range logits {
+			logits[i] = rng.NormFloat64()
+			shifted[i] = logits[i] + c
+		}
+		a, b := Softmax(logits), Softmax(shifted)
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: one SGD step on a single sample reduces that sample's
+// loss (for a small enough learning rate).
+func TestSGDStepReducesSampleLoss(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := NewTableNetwork(2, seed)
+		img := mnist.Synthetic(1, seed).Images[0]
+		label := rng.Intn(10)
+
+		logits := net.Forward(img)
+		before, grad := CrossEntropyLoss(logits, label)
+		net.ZeroGrads()
+		net.Backward(grad)
+		const lr = 1e-3
+		for _, p := range net.Params() {
+			p.Value.AXPY(-lr, p.Grad)
+		}
+		after, _ := CrossEntropyLoss(net.Forward(img), label)
+		return after <= before+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gradients accumulate additively — backprop twice gives
+// exactly double the gradient.
+func TestGradientAccumulationLinear(t *testing.T) {
+	net := NewTableNetwork(2, 3)
+	img := mnist.Synthetic(1, 4).Images[0]
+	logits := net.Forward(img)
+	_, grad := CrossEntropyLoss(logits, 3)
+
+	net.ZeroGrads()
+	net.Backward(grad)
+	once := make([]*tensor.Tensor, 0)
+	for _, p := range net.Params() {
+		once = append(once, p.Grad.Clone())
+	}
+
+	// Second identical pass accumulates on top.
+	net.Forward(img)
+	net.Backward(grad)
+	for i, p := range net.Params() {
+		doubled := once[i].Clone()
+		doubled.Scale(2)
+		if !tensor.EqualApprox(p.Grad, doubled, 1e-9) {
+			t.Fatalf("param %d gradient did not double on accumulation", i)
+		}
+	}
+}
+
+// Property: the forward pass is deterministic and side-effect-free on
+// the input.
+func TestForwardPure(t *testing.T) {
+	net := NewTableNetwork(3, 5)
+	img := mnist.Synthetic(1, 6).Images[0]
+	orig := img.Clone()
+	a := net.Forward(img)
+	b := net.Forward(img)
+	if !tensor.EqualApprox(a, b, 0) {
+		t.Fatal("forward pass not deterministic")
+	}
+	if !tensor.EqualApprox(img, orig, 0) {
+		t.Fatal("forward pass mutated its input")
+	}
+}
+
+// Property: scaling the FC weights and bias by a positive constant
+// never changes the argmax (the invariance the paper's weight
+// re-scaling relies on).
+func TestPositiveScalingPreservesArgmax(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := NewTableNetwork(2, seed)
+		img := mnist.Synthetic(1, seed+1).Images[0]
+		before := net.Predict(img)
+		scale := 0.1 + rng.Float64()*10
+		fc := net.Layers[len(net.Layers)-1].(*Dense)
+		fc.Weight.Value.Scale(scale)
+		fc.Bias.Value.Scale(scale)
+		return net.Predict(img) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

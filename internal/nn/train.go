@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sei/internal/mnist"
+	"sei/internal/tensor"
+)
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	LRDecay   float64   // multiplicative LR decay applied per epoch
+	Seed      int64     // shuffling seed
+	Log       io.Writer // optional progress sink; nil silences logging
+}
+
+// DefaultTrainConfig returns settings that train the Table-2 networks
+// to low error on the synthetic MNIST task.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:    3,
+		BatchSize: 16,
+		LR:        0.05,
+		Momentum:  0.9,
+		LRDecay:   0.7,
+		Seed:      1,
+	}
+}
+
+// Train runs minibatch SGD with momentum over the dataset and returns
+// the average loss of the final epoch.
+func Train(net *Network, data *mnist.Dataset, cfg TrainConfig) float64 {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		panic(fmt.Sprintf("nn: invalid train config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := net.Params()
+	vel := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		vel[i] = tensor.New(p.Value.Shape()...)
+	}
+
+	// Work on a shuffled copy of the sample order, not the caller's
+	// dataset.
+	idx := make([]int, data.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+
+	lr := cfg.LR
+	lastEpochLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		seen := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			net.ZeroGrads()
+			batchLoss := 0.0
+			for _, s := range idx[start:end] {
+				logits := net.Forward(data.Images[s])
+				loss, grad := CrossEntropyLoss(logits, data.Labels[s])
+				batchLoss += loss
+				net.Backward(grad)
+			}
+			bs := float64(end - start)
+			for i, p := range params {
+				v := vel[i]
+				v.Scale(cfg.Momentum)
+				v.AXPY(-lr/bs, p.Grad)
+				p.Value.AddInPlace(v)
+			}
+			epochLoss += batchLoss
+			seen += end - start
+		}
+		lastEpochLoss = epochLoss / float64(seen)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "nn: %s epoch %d/%d loss %.4f lr %.4f\n",
+				net.Name, epoch+1, cfg.Epochs, lastEpochLoss, lr)
+		}
+		if cfg.LRDecay > 0 {
+			lr *= cfg.LRDecay
+		}
+	}
+	return lastEpochLoss
+}
+
+// ErrorRate returns the fraction of misclassified samples in [0,1].
+func ErrorRate(net *Network, data *mnist.Dataset) float64 {
+	wrong := 0
+	for i, img := range data.Images {
+		if net.Predict(img) != data.Labels[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(data.Len())
+}
+
+// Classifier is anything that maps an image to a class. The quantized
+// and hardware-mapped networks implement it alongside *Network.
+type Classifier interface {
+	Predict(in *tensor.Tensor) int
+}
+
+// ClassifierErrorRate evaluates any Classifier on a dataset.
+func ClassifierErrorRate(c Classifier, data *mnist.Dataset) float64 {
+	wrong := 0
+	for i, img := range data.Images {
+		if c.Predict(img) != data.Labels[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(data.Len())
+}

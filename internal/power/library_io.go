@@ -1,0 +1,101 @@
+package power
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The Library marshals to flat JSON so users can substitute their own
+// component constants (a different ADC paper, another technology node)
+// without recompiling. Zero-valued fields in the file inherit the
+// defaults, so a partial override like {"ADCEnergyPJ": 450} is enough.
+
+// libraryJSON mirrors Library with explicit tags.
+type libraryJSON struct {
+	ADCEnergyPJ           float64 `json:"adc_energy_pj,omitempty"`
+	ADCAreaUM2            float64 `json:"adc_area_um2,omitempty"`
+	DACEnergyPJ           float64 `json:"dac_energy_pj,omitempty"`
+	DACAreaUM2            float64 `json:"dac_area_um2,omitempty"`
+	SAEnergyPJ            float64 `json:"sa_energy_pj,omitempty"`
+	SAAreaUM2             float64 `json:"sa_area_um2,omitempty"`
+	CellReadEnergyPJ      float64 `json:"cell_read_energy_pj,omitempty"`
+	CellAreaUM2           float64 `json:"cell_area_um2,omitempty"`
+	DriverEnergyPJ        float64 `json:"driver_energy_pj,omitempty"`
+	DriverAreaUM2         float64 `json:"driver_area_um2,omitempty"`
+	AddEnergyPJ           float64 `json:"add_energy_pj,omitempty"`
+	ShiftEnergyPJ         float64 `json:"shift_energy_pj,omitempty"`
+	SubEnergyPJ           float64 `json:"sub_energy_pj,omitempty"`
+	PopcountEnergyPJ      float64 `json:"popcount_energy_pj,omitempty"`
+	DigitalBlockAreaUM2   float64 `json:"digital_block_area_um2,omitempty"`
+	BufferEnergyPJPerByte float64 `json:"buffer_energy_pj_per_byte,omitempty"`
+	BufferAreaUM2PerByte  float64 `json:"buffer_area_um2_per_byte,omitempty"`
+	DRAMEnergyPJPerByte   float64 `json:"dram_energy_pj_per_byte,omitempty"`
+}
+
+func toJSON(l Library) libraryJSON {
+	return libraryJSON(l)
+}
+
+func fromJSON(j libraryJSON) Library {
+	return Library(j)
+}
+
+// ReadLibrary decodes a JSON component library, filling unspecified
+// fields from DefaultLibrary and validating the result.
+func ReadLibrary(r io.Reader) (Library, error) {
+	var j libraryJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Library{}, fmt.Errorf("power: decoding library: %w", err)
+	}
+	lib := fromJSON(j)
+	def := DefaultLibrary()
+	fill := func(dst *float64, d float64) {
+		if *dst == 0 {
+			*dst = d
+		}
+	}
+	fill(&lib.ADCEnergyPJ, def.ADCEnergyPJ)
+	fill(&lib.ADCAreaUM2, def.ADCAreaUM2)
+	fill(&lib.DACEnergyPJ, def.DACEnergyPJ)
+	fill(&lib.DACAreaUM2, def.DACAreaUM2)
+	fill(&lib.SAEnergyPJ, def.SAEnergyPJ)
+	fill(&lib.SAAreaUM2, def.SAAreaUM2)
+	fill(&lib.CellReadEnergyPJ, def.CellReadEnergyPJ)
+	fill(&lib.CellAreaUM2, def.CellAreaUM2)
+	fill(&lib.DriverEnergyPJ, def.DriverEnergyPJ)
+	fill(&lib.DriverAreaUM2, def.DriverAreaUM2)
+	fill(&lib.AddEnergyPJ, def.AddEnergyPJ)
+	fill(&lib.ShiftEnergyPJ, def.ShiftEnergyPJ)
+	fill(&lib.SubEnergyPJ, def.SubEnergyPJ)
+	fill(&lib.PopcountEnergyPJ, def.PopcountEnergyPJ)
+	fill(&lib.DigitalBlockAreaUM2, def.DigitalBlockAreaUM2)
+	fill(&lib.BufferEnergyPJPerByte, def.BufferEnergyPJPerByte)
+	fill(&lib.BufferAreaUM2PerByte, def.BufferAreaUM2PerByte)
+	fill(&lib.DRAMEnergyPJPerByte, def.DRAMEnergyPJPerByte)
+	if err := lib.Validate(); err != nil {
+		return Library{}, err
+	}
+	return lib, nil
+}
+
+// LoadLibraryFile reads a library from a JSON file.
+func LoadLibraryFile(path string) (Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Library{}, err
+	}
+	defer f.Close()
+	return ReadLibrary(f)
+}
+
+// WriteLibrary encodes the library as indented JSON (the template a
+// user would edit).
+func WriteLibrary(w io.Writer, l Library) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(l))
+}

@@ -1,0 +1,65 @@
+package power
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLibrary(&buf, DefaultLibrary()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != DefaultLibrary() {
+		t.Fatalf("round trip changed library:\n%+v\nvs\n%+v", got, DefaultLibrary())
+	}
+}
+
+func TestReadLibraryPartialOverride(t *testing.T) {
+	lib, err := ReadLibrary(strings.NewReader(`{"adc_energy_pj": 450}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.ADCEnergyPJ != 450 {
+		t.Fatalf("override lost: %v", lib.ADCEnergyPJ)
+	}
+	if lib.DACEnergyPJ != DefaultLibrary().DACEnergyPJ {
+		t.Fatal("unspecified field did not inherit the default")
+	}
+}
+
+func TestReadLibraryRejects(t *testing.T) {
+	if _, err := ReadLibrary(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Fatal("accepted unknown field")
+	}
+	if _, err := ReadLibrary(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := ReadLibrary(strings.NewReader(`{"adc_energy_pj": -5}`)); err == nil {
+		t.Fatal("accepted negative energy")
+	}
+}
+
+func TestLoadLibraryFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := os.WriteFile(path, []byte(`{"sa_energy_pj": 2.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := LoadLibraryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.SAEnergyPJ != 2.5 {
+		t.Fatalf("file override lost: %v", lib.SAEnergyPJ)
+	}
+	if _, err := LoadLibraryFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}

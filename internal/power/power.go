@@ -1,0 +1,256 @@
+// Package power is the component-level energy and area model behind
+// the paper's Fig. 1 breakdown and Table 5. The paper takes analog
+// peripheral and RRAM numbers from [17–19] and digital/buffer numbers
+// from [20]; this library plays the same role with constants chosen
+// from the same literature so that the *ratios* the paper reports
+// (interfaces ≥98 % of a DAC+ADC design, ≥95 % energy saving for SEI,
+// 74–86 % area saving) emerge from the usage counts computed by
+// package arch. Absolute µJ values differ from the paper's (their
+// exact constants are unpublished); EXPERIMENTS.md records both.
+package power
+
+import "fmt"
+
+// Library holds per-component energy (picojoules per operation) and
+// area (µm²) constants.
+type Library struct {
+	// ADCEnergyPJ is the energy of one 8-bit analog-to-digital
+	// conversion. High-throughput 8-bit ADCs of the paper's era run at
+	// ~1 nJ/conversion when sized for crossbar column rates [17,19].
+	ADCEnergyPJ float64
+	// ADCAreaUM2 is one ADC's area (8-bit SAR, ≈0.0012 mm² [19]).
+	ADCAreaUM2 float64
+	// DACEnergyPJ is one 8-bit digital-to-analog conversion including
+	// the row drive [18], counted per row per evaluation. Calibrated so
+	// that the input layer's DACs are a few percent of the baseline
+	// chip energy (Section 3.2 of the paper reports ≈3 %).
+	DACEnergyPJ float64
+	// DACAreaUM2 is one row DAC's area [18].
+	DACAreaUM2 float64
+	// SAEnergyPJ is one sense-amplifier threshold evaluation — the
+	// interface SEI uses instead of an ADC; three orders of magnitude
+	// cheaper.
+	SAEnergyPJ float64
+	// SAAreaUM2 is one SA (latch comparator + reference tap).
+	SAAreaUM2 float64
+	// CellReadEnergyPJ is the average read energy of one active RRAM
+	// cell per evaluation cycle at low read voltage (MNSIM-class
+	// number).
+	CellReadEnergyPJ float64
+	// CellAreaUM2 is one 4F² RRAM cell at F = 40 nm.
+	CellAreaUM2 float64
+	// DriverEnergyPJ is the energy to drive one crossbar row for one
+	// evaluation (transmission gate or sample-and-hold buffer load).
+	DriverEnergyPJ float64
+	// DriverAreaUM2 is one row driver (gate + decode slice).
+	DriverAreaUM2 float64
+	// AddEnergyPJ, ShiftEnergyPJ, SubEnergyPJ, PopcountEnergyPJ are
+	// 8–16-bit digital operation energies (scaled from [20]).
+	AddEnergyPJ, ShiftEnergyPJ, SubEnergyPJ, PopcountEnergyPJ float64
+	// DigitalBlockAreaUM2 is the merge/threshold logic area per
+	// crossbar.
+	DigitalBlockAreaUM2 float64
+	// BufferEnergyPJPerByte is one SRAM/register-file byte access
+	// (read or write) for inter-layer data [20].
+	BufferEnergyPJPerByte float64
+	// BufferAreaUM2PerByte is inter-layer SRAM buffer area per byte.
+	BufferAreaUM2PerByte float64
+	// DRAMEnergyPJPerByte is the cost of fetching picture data from
+	// off-chip memory [20].
+	DRAMEnergyPJPerByte float64
+}
+
+// DefaultLibrary returns the calibrated constants (see package
+// comment and DESIGN.md §5).
+func DefaultLibrary() Library {
+	return Library{
+		ADCEnergyPJ:           1000,
+		ADCAreaUM2:            1200,
+		DACEnergyPJ:           160,
+		DACAreaUM2:            320,
+		SAEnergyPJ:            1,
+		SAAreaUM2:             25,
+		CellReadEnergyPJ:      0.0002,
+		CellAreaUM2:           0.0064,
+		DriverEnergyPJ:        0.05,
+		DriverAreaUM2:         0.5,
+		AddEnergyPJ:           0.03,
+		ShiftEnergyPJ:         0.01,
+		SubEnergyPJ:           0.03,
+		PopcountEnergyPJ:      0.05,
+		DigitalBlockAreaUM2:   150,
+		BufferEnergyPJPerByte: 0.3,
+		BufferAreaUM2PerByte:  1.0,
+		DRAMEnergyPJPerByte:   20,
+	}
+}
+
+// Validate rejects non-physical libraries.
+func (l Library) Validate() error {
+	fields := map[string]float64{
+		"ADCEnergyPJ": l.ADCEnergyPJ, "ADCAreaUM2": l.ADCAreaUM2,
+		"DACEnergyPJ": l.DACEnergyPJ, "DACAreaUM2": l.DACAreaUM2,
+		"SAEnergyPJ": l.SAEnergyPJ, "SAAreaUM2": l.SAAreaUM2,
+		"CellReadEnergyPJ": l.CellReadEnergyPJ, "CellAreaUM2": l.CellAreaUM2,
+		"DriverEnergyPJ": l.DriverEnergyPJ, "DriverAreaUM2": l.DriverAreaUM2,
+		"AddEnergyPJ": l.AddEnergyPJ, "ShiftEnergyPJ": l.ShiftEnergyPJ,
+		"SubEnergyPJ": l.SubEnergyPJ, "PopcountEnergyPJ": l.PopcountEnergyPJ,
+		"DigitalBlockAreaUM2":   l.DigitalBlockAreaUM2,
+		"BufferEnergyPJPerByte": l.BufferEnergyPJPerByte,
+		"BufferAreaUM2PerByte":  l.BufferAreaUM2PerByte,
+		"DRAMEnergyPJPerByte":   l.DRAMEnergyPJPerByte,
+	}
+	for name, v := range fields {
+		if v <= 0 {
+			return fmt.Errorf("power: %s = %g must be positive", name, v)
+		}
+	}
+	return nil
+}
+
+// Counts are per-picture usage counts for one mapped layer.
+type Counts struct {
+	DACConversions int64
+	ADCConversions int64
+	SAEvaluations  int64
+	CellReads      int64 // active cell·cycle events
+	RowDrives      int64 // physical row activations
+	Adds           int64
+	Shifts         int64
+	Subs           int64
+	Popcounts      int64
+	BufferBytes    int64 // inter-layer buffer accesses in bytes
+	DRAMBytes      int64 // off-chip picture fetch
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.DACConversions += o.DACConversions
+	c.ADCConversions += o.ADCConversions
+	c.SAEvaluations += o.SAEvaluations
+	c.CellReads += o.CellReads
+	c.RowDrives += o.RowDrives
+	c.Adds += o.Adds
+	c.Shifts += o.Shifts
+	c.Subs += o.Subs
+	c.Popcounts += o.Popcounts
+	c.BufferBytes += o.BufferBytes
+	c.DRAMBytes += o.DRAMBytes
+}
+
+// Inventory is the physical module count of one mapped layer
+// (area-relevant; built once regardless of how many times the layer is
+// reused per picture — the paper's area baseline reuses kernels
+// across feature-map positions).
+type Inventory struct {
+	DACs          int64
+	ADCs          int64
+	SAs           int64
+	Cells         int64
+	DriverRows    int64
+	Crossbars     int64
+	DigitalBlocks int64
+	BufferBytes   int64
+}
+
+// Add accumulates o into v.
+func (v *Inventory) Add(o Inventory) {
+	v.DACs += o.DACs
+	v.ADCs += o.ADCs
+	v.SAs += o.SAs
+	v.Cells += o.Cells
+	v.DriverRows += o.DriverRows
+	v.Crossbars += o.Crossbars
+	v.DigitalBlocks += o.DigitalBlocks
+	v.BufferBytes += o.BufferBytes
+}
+
+// Breakdown groups energy (pJ) or area (µm²) by component class, the
+// grouping of the paper's Fig. 1.
+type Breakdown struct {
+	DAC     float64
+	ADC     float64
+	RRAM    float64
+	SA      float64
+	Digital float64
+	Buffer  float64
+	Driver  float64
+	DRAM    float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.DAC + b.ADC + b.RRAM + b.SA + b.Digital + b.Buffer + b.Driver + b.DRAM
+}
+
+// Other groups everything that is neither DAC, ADC nor RRAM — Fig. 1's
+// fourth bar segment.
+func (b Breakdown) Other() float64 {
+	return b.SA + b.Digital + b.Buffer + b.Driver + b.DRAM
+}
+
+// InterfaceFraction is the DAC+ADC share of the total — the paper's
+// ">98% of area and power" observation.
+func (b Breakdown) InterfaceFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (b.DAC + b.ADC) / t
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.DAC += o.DAC
+	b.ADC += o.ADC
+	b.RRAM += o.RRAM
+	b.SA += o.SA
+	b.Digital += o.Digital
+	b.Buffer += o.Buffer
+	b.Driver += o.Driver
+	b.DRAM += o.DRAM
+}
+
+// Energy converts per-picture usage counts to a pJ breakdown.
+func (l Library) Energy(c Counts) Breakdown {
+	return Breakdown{
+		DAC:     float64(c.DACConversions) * l.DACEnergyPJ,
+		ADC:     float64(c.ADCConversions) * l.ADCEnergyPJ,
+		SA:      float64(c.SAEvaluations) * l.SAEnergyPJ,
+		RRAM:    float64(c.CellReads) * l.CellReadEnergyPJ,
+		Driver:  float64(c.RowDrives) * l.DriverEnergyPJ,
+		Digital: float64(c.Adds)*l.AddEnergyPJ + float64(c.Shifts)*l.ShiftEnergyPJ + float64(c.Subs)*l.SubEnergyPJ + float64(c.Popcounts)*l.PopcountEnergyPJ,
+		Buffer:  float64(c.BufferBytes) * l.BufferEnergyPJPerByte,
+		DRAM:    float64(c.DRAMBytes) * l.DRAMEnergyPJPerByte,
+	}
+}
+
+// Area converts a module inventory to a µm² breakdown.
+func (l Library) Area(v Inventory) Breakdown {
+	return Breakdown{
+		DAC:     float64(v.DACs) * l.DACAreaUM2,
+		ADC:     float64(v.ADCs) * l.ADCAreaUM2,
+		SA:      float64(v.SAs) * l.SAAreaUM2,
+		RRAM:    float64(v.Cells) * l.CellAreaUM2,
+		Driver:  float64(v.DriverRows) * l.DriverAreaUM2,
+		Digital: float64(v.DigitalBlocks) * l.DigitalBlockAreaUM2,
+		Buffer:  float64(v.BufferBytes) * l.BufferAreaUM2PerByte,
+	}
+}
+
+// MicroJoules converts a pJ energy breakdown total to µJ.
+func MicroJoules(b Breakdown) float64 { return b.Total() * 1e-6 }
+
+// SquareMM converts a µm² area breakdown total to mm².
+func SquareMM(b Breakdown) float64 { return b.Total() * 1e-6 }
+
+// GOPsPerJoule returns giga-operations per joule for ops operations at
+// the given per-picture energy breakdown.
+func GOPsPerJoule(ops int64, energy Breakdown) float64 {
+	pj := energy.Total()
+	if pj == 0 {
+		return 0
+	}
+	// ops / (pJ·1e−12 J) / 1e9 = ops·1000/pJ.
+	return float64(ops) * 1000 / pj
+}

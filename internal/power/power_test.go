@@ -1,0 +1,132 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultLibraryValid(t *testing.T) {
+	if err := DefaultLibrary().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesNonPositive(t *testing.T) {
+	l := DefaultLibrary()
+	l.ADCEnergyPJ = 0
+	if l.Validate() == nil {
+		t.Fatal("accepted zero ADC energy")
+	}
+	l = DefaultLibrary()
+	l.CellAreaUM2 = -1
+	if l.Validate() == nil {
+		t.Fatal("accepted negative cell area")
+	}
+}
+
+func TestLibraryOrderings(t *testing.T) {
+	// The relations the paper's argument depends on: an SA is orders of
+	// magnitude cheaper than an ADC; a cell read is far cheaper than
+	// any interface operation.
+	l := DefaultLibrary()
+	if l.SAEnergyPJ*100 > l.ADCEnergyPJ {
+		t.Fatalf("SA (%g pJ) not ≪ ADC (%g pJ)", l.SAEnergyPJ, l.ADCEnergyPJ)
+	}
+	if l.SAAreaUM2*10 > l.ADCAreaUM2 {
+		t.Fatalf("SA area (%g) not ≪ ADC area (%g)", l.SAAreaUM2, l.ADCAreaUM2)
+	}
+	if l.CellReadEnergyPJ*1000 > l.SAEnergyPJ {
+		t.Fatalf("cell read (%g pJ) not ≪ SA (%g pJ)", l.CellReadEnergyPJ, l.SAEnergyPJ)
+	}
+}
+
+func TestEnergyLinear(t *testing.T) {
+	l := DefaultLibrary()
+	c := Counts{ADCConversions: 10, DACConversions: 4, SAEvaluations: 100, CellReads: 1000}
+	b := l.Energy(c)
+	if b.ADC != 10*l.ADCEnergyPJ || b.DAC != 4*l.DACEnergyPJ {
+		t.Fatalf("interface energy wrong: %+v", b)
+	}
+	if b.SA != 100*l.SAEnergyPJ || b.RRAM != 1000*l.CellReadEnergyPJ {
+		t.Fatalf("SA/RRAM energy wrong: %+v", b)
+	}
+	c2 := c
+	c2.ADCConversions *= 2
+	c2.DACConversions *= 2
+	c2.SAEvaluations *= 2
+	c2.CellReads *= 2
+	b2 := l.Energy(c2)
+	if math.Abs(b2.Total()-2*b.Total()) > 1e-9 {
+		t.Fatal("energy is not linear in counts")
+	}
+}
+
+func TestAreaComputation(t *testing.T) {
+	l := DefaultLibrary()
+	v := Inventory{ADCs: 2, DACs: 3, SAs: 4, Cells: 1000, BufferBytes: 10}
+	b := l.Area(v)
+	want := 2*l.ADCAreaUM2 + 3*l.DACAreaUM2 + 4*l.SAAreaUM2 + 1000*l.CellAreaUM2 + 10*l.BufferAreaUM2PerByte
+	if math.Abs(b.Total()-want) > 1e-9 {
+		t.Fatalf("area total %v, want %v", b.Total(), want)
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	b := Breakdown{DAC: 10, ADC: 80, RRAM: 5, SA: 1, Digital: 2, Buffer: 1, Driver: 0.5, DRAM: 0.5}
+	if math.Abs(b.Total()-100) > 1e-12 {
+		t.Fatalf("Total = %v, want 100", b.Total())
+	}
+	if math.Abs(b.Other()-5) > 1e-12 {
+		t.Fatalf("Other = %v, want 5", b.Other())
+	}
+	if math.Abs(b.InterfaceFraction()-0.9) > 1e-12 {
+		t.Fatalf("InterfaceFraction = %v, want 0.9", b.InterfaceFraction())
+	}
+	var zero Breakdown
+	if zero.InterfaceFraction() != 0 {
+		t.Fatal("zero breakdown InterfaceFraction should be 0")
+	}
+}
+
+func TestCountsAndInventoryAdd(t *testing.T) {
+	a := Counts{ADCConversions: 1, Adds: 2, BufferBytes: 3}
+	a.Add(Counts{ADCConversions: 10, Adds: 20, BufferBytes: 30, DRAMBytes: 5})
+	if a.ADCConversions != 11 || a.Adds != 22 || a.BufferBytes != 33 || a.DRAMBytes != 5 {
+		t.Fatalf("Counts.Add wrong: %+v", a)
+	}
+	v := Inventory{ADCs: 1, Cells: 2}
+	v.Add(Inventory{ADCs: 3, Cells: 4, SAs: 5})
+	if v.ADCs != 4 || v.Cells != 6 || v.SAs != 5 {
+		t.Fatalf("Inventory.Add wrong: %+v", v)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{DAC: 1, ADC: 2}
+	a.Add(Breakdown{DAC: 10, RRAM: 5, DRAM: 1})
+	if a.DAC != 11 || a.ADC != 2 || a.RRAM != 5 || a.DRAM != 1 {
+		t.Fatalf("Breakdown.Add wrong: %+v", a)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	b := Breakdown{ADC: 2.5e6} // 2.5e6 pJ = 2.5 µJ
+	if math.Abs(MicroJoules(b)-2.5) > 1e-12 {
+		t.Fatalf("MicroJoules = %v, want 2.5", MicroJoules(b))
+	}
+	a := Breakdown{ADC: 1e6} // 1e6 µm² = 1 mm²
+	if math.Abs(SquareMM(a)-1) > 1e-12 {
+		t.Fatalf("SquareMM = %v, want 1", SquareMM(a))
+	}
+}
+
+func TestGOPsPerJoule(t *testing.T) {
+	// 1000 ops at 1000 pJ = 1 op/pJ = 1e12 ops/J = 1000 GOPs/J.
+	b := Breakdown{SA: 1000}
+	if got := GOPsPerJoule(1000, b); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("GOPsPerJoule = %v, want 1000", got)
+	}
+	if GOPsPerJoule(100, Breakdown{}) != 0 {
+		t.Fatal("zero-energy GOPs/J should be 0")
+	}
+}

@@ -1,0 +1,56 @@
+package power
+
+import "strings"
+
+// Bar renders a breakdown as a proportional ASCII bar of the given
+// width, using one rune per component class — a terminal rendition of
+// the paper's Fig.-1 stacked bars:
+//
+//	D = DAC, A = ADC, R = RRAM, o = everything else
+//
+// Components round to whole cells; at least one cell is shown for any
+// component above half a cell so small-but-present classes stay
+// visible.
+func Bar(b Breakdown, width int) string {
+	if width < 4 {
+		width = 4
+	}
+	total := b.Total()
+	if total == 0 {
+		return strings.Repeat(".", width)
+	}
+	type seg struct {
+		r    rune
+		frac float64
+	}
+	segs := []seg{
+		{'D', b.DAC / total},
+		{'A', b.ADC / total},
+		{'R', b.RRAM / total},
+		{'o', b.Other() / total},
+	}
+	// Round each segment, keeping any component worth at least half a
+	// cell visible, then reconcile the total width against the largest
+	// segment.
+	n := make([]int, len(segs))
+	sum, largest := 0, 0
+	for i, s := range segs {
+		n[i] = int(s.frac*float64(width) + 0.5)
+		if n[i] == 0 && s.frac*float64(width) >= 0.5 {
+			n[i] = 1
+		}
+		sum += n[i]
+		if n[i] > n[largest] {
+			largest = i
+		}
+	}
+	n[largest] += width - sum
+
+	var sb strings.Builder
+	for i, s := range segs {
+		for j := 0; j < n[i]; j++ {
+			sb.WriteRune(s.r)
+		}
+	}
+	return sb.String()
+}

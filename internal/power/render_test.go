@@ -1,0 +1,47 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarWidthAndComposition(t *testing.T) {
+	b := Breakdown{DAC: 25, ADC: 50, RRAM: 0, Digital: 25}
+	bar := Bar(b, 40)
+	if len(bar) != 40 {
+		t.Fatalf("bar length %d, want 40", len(bar))
+	}
+	if n := strings.Count(bar, "A"); n < 18 || n > 22 {
+		t.Fatalf("ADC segment %d cells of 40, want ≈20: %q", n, bar)
+	}
+	if n := strings.Count(bar, "D"); n < 8 || n > 12 {
+		t.Fatalf("DAC segment %d cells, want ≈10: %q", n, bar)
+	}
+	if strings.Contains(bar, "R") {
+		t.Fatalf("zero RRAM rendered: %q", bar)
+	}
+}
+
+func TestBarZeroTotal(t *testing.T) {
+	bar := Bar(Breakdown{}, 10)
+	if bar != ".........." {
+		t.Fatalf("zero bar %q", bar)
+	}
+}
+
+func TestBarMinWidth(t *testing.T) {
+	if len(Bar(Breakdown{ADC: 1}, 1)) != 4 {
+		t.Fatal("minimum width not enforced")
+	}
+}
+
+func TestBarDominantComponent(t *testing.T) {
+	b := Breakdown{ADC: 99, Buffer: 1}
+	bar := Bar(b, 50)
+	if n := strings.Count(bar, "A"); n < 48 {
+		t.Fatalf("dominant ADC only %d/50 cells: %q", n, bar)
+	}
+	if !strings.Contains(bar, "o") {
+		t.Fatalf("1%% other invisible despite rounding rule: %q", bar)
+	}
+}

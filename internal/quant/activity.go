@@ -1,0 +1,49 @@
+package quant
+
+import (
+	"sei/internal/mnist"
+)
+
+// ActivityFactors measures the mean fraction of active (1) inputs
+// entering each mapped layer over a dataset: index 0 is the analog
+// input layer (reported as 1.0 — its rows are always driven), indices
+// 1..len(Convs)-1 are the binarized conv stages, and the final index
+// is the FC stage. The result feeds arch.ApplyActivity, turning the
+// Table-1 sparsity observation into a proportional crossbar-energy
+// reduction.
+func (q *QuantizedNet) ActivityFactors(data *mnist.Dataset) []float64 {
+	n := len(q.Convs) + 1
+	factors := make([]float64, n)
+	factors[0] = 1.0
+	if data.Len() == 0 {
+		for i := 1; i < n; i++ {
+			factors[i] = 1.0
+		}
+		return factors
+	}
+	sums := make([]float64, n)
+	counts := make([]float64, n)
+	for _, img := range data.Images {
+		acts := q.BinaryActivations(img)
+		// acts[l] is the map entering conv stage l+1 (or the FC for the
+		// last one).
+		for l, a := range acts {
+			sums[l+1] += a.Sum()
+			counts[l+1] += float64(a.Len())
+		}
+	}
+	for i := 1; i < n; i++ {
+		if counts[i] > 0 {
+			factors[i] = sums[i] / counts[i]
+		}
+		if factors[i] <= 0 {
+			// A dead layer would zero the energy model; clamp to a tiny
+			// positive activity instead.
+			factors[i] = 1e-3
+		}
+		if factors[i] > 1 {
+			factors[i] = 1
+		}
+	}
+	return factors
+}

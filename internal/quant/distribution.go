@@ -1,0 +1,101 @@
+package quant
+
+import (
+	"fmt"
+
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/tensor"
+)
+
+// PaperBinEdges are the normalized-data bins of Table 1:
+// 0–1/16, 1/16–1/8, 1/8–1/4, 1/4–1.
+var PaperBinEdges = []float64{0, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1}
+
+// LayerDistribution is one row of a Table-1-style analysis: the
+// fraction of a conv layer's (post-ReLU) intermediate data falling in
+// each bin after normalization by the layer maximum.
+type LayerDistribution struct {
+	LayerName string
+	MaxValue  float64
+	Count     int64
+	Fractions [4]float64
+}
+
+// String renders the row like the paper's table.
+func (d LayerDistribution) String() string {
+	return fmt.Sprintf("%-12s %6.2f%% %6.2f%% %6.2f%% %6.2f%%",
+		d.LayerName,
+		100*d.Fractions[0], 100*d.Fractions[1], 100*d.Fractions[2], 100*d.Fractions[3])
+}
+
+// AnalyzeDistribution measures the intermediate-data distribution of
+// every conv layer of a trained float network over a dataset,
+// reproducing the analysis of Table 1 (the paper measured CaffeNet;
+// we measure the Table-2 networks, which the paper states share the
+// same long-tail shape). The returned slice has one entry per conv
+// layer plus a final "All Layers" aggregate.
+func AnalyzeDistribution(net *nn.Network, data *mnist.Dataset) []LayerDistribution {
+	type acc struct {
+		name   string
+		values []float64
+	}
+	var accs []*acc
+
+	for _, img := range data.Images {
+		_, taps := net.ForwardTaps(img)
+		convIdx := 0
+		for ti, tap := range taps {
+			// A conv layer's intermediate data is its post-ReLU output:
+			// take the ReLU tap that immediately follows a Conv2D.
+			if ti == 0 {
+				continue
+			}
+			if _, isConv := net.Layers[ti-1].(*nn.Conv2D); !isConv {
+				continue
+			}
+			if _, isReLU := net.Layers[ti].(*nn.ReLU); !isReLU {
+				continue
+			}
+			if convIdx >= len(accs) {
+				accs = append(accs, &acc{name: fmt.Sprintf("Layer %d", convIdx+1)})
+			}
+			accs[convIdx].values = append(accs[convIdx].values, tap.Value.Data()...)
+			convIdx++
+		}
+	}
+
+	var out []LayerDistribution
+	var all []float64
+	for _, a := range accs {
+		out = append(out, distributionOf(a.name, a.values))
+		all = append(all, a.values...)
+	}
+	if len(accs) > 1 {
+		out = append(out, distributionOf("All Layers", all))
+	}
+	return out
+}
+
+// distributionOf normalizes values by their maximum and bins them with
+// the paper's edges.
+func distributionOf(name string, values []float64) LayerDistribution {
+	d := LayerDistribution{LayerName: name, Count: int64(len(values))}
+	if len(values) == 0 {
+		return d
+	}
+	t := tensor.FromSlice(values, len(values))
+	max := t.Max()
+	d.MaxValue = max
+	if max <= 0 {
+		d.Fractions[0] = 1
+		return d
+	}
+	norm := t.Clone()
+	norm.Scale(1 / max)
+	counts := norm.Histogram(PaperBinEdges)
+	for i, c := range counts {
+		d.Fractions[i] = float64(c) / float64(len(values))
+	}
+	return d
+}

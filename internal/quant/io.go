@@ -1,0 +1,109 @@
+package quant
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sei/internal/tensor"
+)
+
+type convSnapshot struct {
+	Shape    []int
+	Data     []float64
+	Stride   int
+	PoolSize int
+}
+
+type quantSnapshot struct {
+	Version    int
+	Name       string
+	Convs      []convSnapshot
+	FCShape    []int
+	FCData     []float64
+	FCBias     []float64
+	Thresholds []float64
+	InShape    []int
+}
+
+const quantSnapshotVersion = 1
+
+// Save serializes the quantized network (re-scaled weights and
+// thresholds) so experiment harnesses can cache the expensive
+// Algorithm-1 output.
+func (q *QuantizedNet) Save(w io.Writer) error {
+	snap := quantSnapshot{
+		Version:    quantSnapshotVersion,
+		Name:       q.Name,
+		FCShape:    q.FC.W.Shape(),
+		FCData:     append([]float64(nil), q.FC.W.Data()...),
+		FCBias:     append([]float64(nil), q.FC.B...),
+		Thresholds: append([]float64(nil), q.Thresholds...),
+		InShape:    append([]int(nil), q.InShape...),
+	}
+	for _, c := range q.Convs {
+		snap.Convs = append(snap.Convs, convSnapshot{
+			Shape:    c.W.Shape(),
+			Data:     append([]float64(nil), c.W.Data()...),
+			Stride:   c.Stride,
+			PoolSize: c.PoolSize,
+		})
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a quantized network written by Save.
+func Load(r io.Reader) (*QuantizedNet, error) {
+	var snap quantSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("quant: decoding: %w", err)
+	}
+	if snap.Version != quantSnapshotVersion {
+		return nil, fmt.Errorf("quant: unsupported snapshot version %d", snap.Version)
+	}
+	if len(snap.Thresholds) != len(snap.Convs) {
+		return nil, fmt.Errorf("quant: %d thresholds for %d conv stages", len(snap.Thresholds), len(snap.Convs))
+	}
+	q := &QuantizedNet{
+		Name:       snap.Name,
+		FC:         FCSpec{W: tensor.FromSlice(snap.FCData, snap.FCShape...), B: snap.FCBias},
+		Thresholds: snap.Thresholds,
+		InShape:    snap.InShape,
+	}
+	for _, c := range snap.Convs {
+		q.Convs = append(q.Convs, ConvSpec{
+			W:        tensor.FromSlice(c.Data, c.Shape...),
+			Stride:   c.Stride,
+			PoolSize: c.PoolSize,
+		})
+	}
+	return q, nil
+}
+
+// SaveFile writes the quantized network to path, creating parents.
+func (q *QuantizedNet) SaveFile(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := q.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a quantized network from path.
+func LoadFile(path string) (*QuantizedNet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,35 @@
+package quant
+
+import (
+	"sei/internal/mnist"
+	"sei/internal/nn"
+)
+
+// QuantizeNetwork is the end-to-end Section-3 pipeline: extract the
+// stages of a trained network and run Algorithm 1 on the training set.
+// The input network is not mutated (weights are deep-copied by
+// Extract before re-scaling).
+func QuantizeNetwork(net *nn.Network, train *mnist.Dataset, inShape []int, cfg SearchConfig) (*QuantizedNet, *SearchReport, error) {
+	q, err := Extract(net, inShape)
+	if err != nil {
+		return nil, nil, err
+	}
+	report, err := SearchThresholds(q, train, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, report, nil
+}
+
+// ErrorRate evaluates the exact digital binarized network on a
+// dataset, returning the misclassification fraction — the "After
+// Quantization" rows of Table 3.
+func (q *QuantizedNet) ErrorRate(data *mnist.Dataset) float64 {
+	wrong := 0
+	for i, img := range data.Images {
+		if q.Predict(img) != data.Labels[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(data.Len())
+}

@@ -1,0 +1,97 @@
+package quant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sei/internal/mnist"
+	"sei/internal/nn"
+)
+
+// RecalibrateConfig controls the optional FC recalibration step.
+type RecalibrateConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+}
+
+// DefaultRecalibrateConfig trains the classifier head for a few cheap
+// epochs.
+func DefaultRecalibrateConfig() RecalibrateConfig {
+	return RecalibrateConfig{Epochs: 5, BatchSize: 16, LR: 0.05, Seed: 1}
+}
+
+// RecalibrateFC retrains only the final FC layer on the binarized
+// features (softmax regression; the conv stages and thresholds are
+// frozen). The paper does not need this step — its Caffe-trained
+// networks lose <1 % from binarization — but on a weaker substrate the
+// FC layer, trained against real-valued activations, can be mis-scaled
+// for 0/1 inputs; recalibration removes exactly that mismatch without
+// touching the hardware-relevant parts of the design. It is opt-in and
+// reported separately in EXPERIMENTS.md.
+func RecalibrateFC(q *QuantizedNet, train *mnist.Dataset, cfg RecalibrateConfig) error {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return fmt.Errorf("quant: invalid recalibrate config %+v", cfg)
+	}
+	// Precompute the frozen binary features once.
+	features := make([][]float64, train.Len())
+	for i, img := range train.Images {
+		acts := q.BinaryActivations(img)
+		features[i] = acts[len(acts)-1].Data()
+	}
+
+	out, in := q.FC.W.Dim(0), q.FC.W.Dim(1)
+	w := q.FC.W.Data()
+	b := q.FC.B
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := rng.Perm(train.Len())
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			gw := make([]float64, len(w))
+			gb := make([]float64, len(b))
+			for _, s := range idx[start:end] {
+				x := features[s]
+				logits := make([]float64, out)
+				for o := 0; o < out; o++ {
+					row := w[o*in : (o+1)*in]
+					acc := b[o]
+					for j, xv := range x {
+						if xv != 0 {
+							acc += row[j]
+						}
+					}
+					logits[o] = acc
+				}
+				p := nn.Softmax(logits)
+				p[train.Labels[s]] -= 1
+				for o := 0; o < out; o++ {
+					if p[o] == 0 {
+						continue
+					}
+					row := gw[o*in : (o+1)*in]
+					for j, xv := range x {
+						if xv != 0 {
+							row[j] += p[o]
+						}
+					}
+					gb[o] += p[o]
+				}
+			}
+			scale := cfg.LR / float64(end-start)
+			for i := range w {
+				w[i] -= scale * gw[i]
+			}
+			for i := range b {
+				b[i] -= scale * gb[i]
+			}
+		}
+	}
+	return nil
+}

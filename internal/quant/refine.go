@@ -1,0 +1,74 @@
+package quant
+
+import (
+	"fmt"
+
+	"sei/internal/mnist"
+)
+
+// RefineConfig controls the coordinate-descent threshold refinement.
+type RefineConfig struct {
+	Rounds  int     // full sweeps over the layers
+	Step    float64 // candidate spacing around the current threshold
+	Radius  int     // candidates tried on each side of the current value
+	Samples int     // training subsample (0 = all)
+}
+
+// DefaultRefineConfig refines each threshold over ±5 steps of 0.01 for
+// two rounds.
+func DefaultRefineConfig() RefineConfig {
+	return RefineConfig{Rounds: 2, Step: 0.01, Radius: 5, Samples: 500}
+}
+
+// RefineThresholds improves the greedy Algorithm-1 thresholds by
+// coordinate descent: each layer's threshold is re-searched while
+// evaluating accuracy through the *fully binarized* pipeline (the
+// greedy pass evaluates through the float remainder, which mismatches
+// the deployed network once deeper layers are also binarized). This is
+// the same brute-force accuracy-driven search, applied at deployment
+// semantics; it never changes weights.
+func RefineThresholds(q *QuantizedNet, train *mnist.Dataset, cfg RefineConfig) (float64, error) {
+	if cfg.Rounds <= 0 || cfg.Step <= 0 || cfg.Radius <= 0 {
+		return 0, fmt.Errorf("quant: invalid refine config %+v", cfg)
+	}
+	data := train
+	if cfg.Samples > 0 && cfg.Samples < train.Len() {
+		data = train.Subset(cfg.Samples)
+	}
+	accuracy := func() float64 {
+		correct := 0
+		for i, img := range data.Images {
+			if q.Predict(img) == data.Labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(data.Len())
+	}
+	best := accuracy()
+	for round := 0; round < cfg.Rounds; round++ {
+		improved := false
+		for l := range q.Thresholds {
+			orig := q.Thresholds[l]
+			bestT := orig
+			for k := -cfg.Radius; k <= cfg.Radius; k++ {
+				if k == 0 {
+					continue
+				}
+				t := orig + float64(k)*cfg.Step
+				if t < 0 {
+					continue
+				}
+				q.Thresholds[l] = t
+				if acc := accuracy(); acc > best {
+					best, bestT = acc, t
+					improved = true
+				}
+			}
+			q.Thresholds[l] = bestT
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,225 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"sei/internal/mnist"
+	"sei/internal/tensor"
+)
+
+// SearchConfig controls Algorithm 1 (Threshold Searching Algorithm).
+type SearchConfig struct {
+	// ThresMin/ThresMax bound the brute-force interval. The paper
+	// searches [0, 0.1]: after re-scaling, outputs lie in [0,1] and the
+	// long-tail distribution puts the optimum well below 0.1.
+	ThresMin, ThresMax float64
+	// CoarseStep is the first sweep's step; FineStep refines around the
+	// coarse optimum (a two-resolution version of the paper's single
+	// SearchStep, same brute-force spirit at lower cost).
+	CoarseStep, FineStep float64
+	// Samples caps how many training samples drive the search
+	// (0 = use the whole set). The paper uses all 60k; a subsample
+	// preserves the optimum because only the argmax over a smooth
+	// accuracy curve matters.
+	Samples int
+}
+
+// DefaultSearchConfig uses a wider interval than the paper's [0, 0.1]:
+// the synthetic-MNIST networks place their accuracy optimum above 0.1
+// (denser early-layer features than CaffeNet's), and since weight
+// re-scaling bounds outputs to [0,1] a wider brute-force sweep is
+// harmless. PaperSearchConfig reproduces the paper's exact interval.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		ThresMin:   0,
+		ThresMax:   0.6,
+		CoarseStep: 0.03,
+		FineStep:   0.005,
+		Samples:    500,
+	}
+}
+
+// PaperSearchConfig is the literal Algorithm-1 interval: thresholds
+// searched from 0 to 0.1.
+func PaperSearchConfig() SearchConfig {
+	return SearchConfig{
+		ThresMin:   0,
+		ThresMax:   0.1,
+		CoarseStep: 0.01,
+		FineStep:   0.002,
+		Samples:    500,
+	}
+}
+
+// LayerSearchResult records one layer's outcome.
+type LayerSearchResult struct {
+	Layer     int
+	MaxOutput float64 // re-scaling divisor (max activation before scaling)
+	Threshold float64
+	Accuracy  float64 // training-subsample accuracy at the chosen threshold
+}
+
+// SearchReport is the outcome of Algorithm 1.
+type SearchReport struct {
+	Layers []LayerSearchResult
+}
+
+// SearchThresholds runs Algorithm 1 on q in place: for each conv stage
+// in order it (1) computes the stage's outputs under the already-
+// quantized prefix, (2) re-scales the stage weights so outputs lie in
+// [0,1], and (3) brute-force searches the binarization threshold that
+// maximizes training accuracy through the *float* remainder of the
+// network (the layer-by-layer greedy strategy).
+func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (*SearchReport, error) {
+	if cfg.ThresMax <= cfg.ThresMin || cfg.CoarseStep <= 0 || cfg.FineStep <= 0 {
+		return nil, fmt.Errorf("quant: invalid search config %+v", cfg)
+	}
+	data := train
+	if cfg.Samples > 0 && cfg.Samples < train.Len() {
+		data = train.Subset(cfg.Samples)
+	}
+	if data.Len() == 0 {
+		return nil, fmt.Errorf("quant: empty training set")
+	}
+	report := &SearchReport{}
+	eval := q.Digital()
+
+	// entries[i] is the activation entering the stage currently being
+	// searched; starts as the raw images and is advanced through each
+	// finished stage's binarized pipeline.
+	entries := make([]*tensor.Tensor, data.Len())
+	copy(entries, data.Images)
+
+	for l := range q.Convs {
+		// Step 1: stage outputs under the quantized prefix.
+		convOut := make([]*tensor.Tensor, data.Len())
+		maxOut := 0.0
+		for i, in := range entries {
+			convOut[i] = floatConv(&q.Convs[l], in)
+			if m := convOut[i].Max(); m > maxOut {
+				maxOut = m
+			}
+		}
+		if maxOut <= 1e-12 {
+			return nil, fmt.Errorf("quant: conv stage %d produces no positive outputs; network is dead", l)
+		}
+
+		// Step 2: weight re-scaling (Algorithm 1 line 4). Scaling the
+		// weights scales the outputs; it cannot change the float
+		// network's classification.
+		q.Convs[l].W.Scale(1 / maxOut)
+		for _, t := range convOut {
+			t.Scale(1 / maxOut)
+		}
+
+		// Step 3: brute-force threshold search, coarse then fine.
+		evalT := func(t float64) float64 {
+			correct := 0
+			for i := range convOut {
+				bits := binarize(convOut[i], t)
+				if q.Convs[l].PoolSize > 1 {
+					bits = orPool(bits, q.Convs[l].PoolSize)
+				}
+				if floatRemainder(q, l+1, bits) == data.Labels[i] {
+					correct++
+				}
+			}
+			return float64(correct) / float64(len(convOut))
+		}
+		bestT, bestAcc := cfg.ThresMin, -1.0
+		for t := cfg.ThresMin; t <= cfg.ThresMax+1e-12; t += cfg.CoarseStep {
+			if acc := evalT(t); acc > bestAcc {
+				bestT, bestAcc = t, acc
+			}
+		}
+		lo := math.Max(cfg.ThresMin, bestT-cfg.CoarseStep)
+		hi := math.Min(cfg.ThresMax, bestT+cfg.CoarseStep)
+		for t := lo; t <= hi+1e-12; t += cfg.FineStep {
+			if acc := evalT(t); acc > bestAcc {
+				bestT, bestAcc = t, acc
+			}
+		}
+		q.Thresholds[l] = bestT
+		report.Layers = append(report.Layers, LayerSearchResult{
+			Layer: l, MaxOutput: maxOut, Threshold: bestT, Accuracy: bestAcc,
+		})
+
+		// Advance the cached entries through the now-final stage.
+		for i, in := range entries {
+			entries[i] = q.convStage(eval, l, in)
+		}
+	}
+	return report, nil
+}
+
+// floatConv computes the real-valued convolution of one stage on an
+// input map (no ReLU, no pooling): the "Output(L)" of Algorithm 1.
+func floatConv(c *ConvSpec, in *tensor.Tensor) *tensor.Tensor {
+	kh, kw := c.W.Dim(2), c.W.Dim(3)
+	cols := tensor.Im2Col(in, kh, kw, c.Stride)
+	wmat := c.W.Reshape(c.Filters(), c.FanIn())
+	prod := tensor.MatMul(wmat, tensor.Transpose2D(cols))
+	h, w := in.Dim(1), in.Dim(2)
+	outH := (h-kh)/c.Stride + 1
+	outW := (w-kw)/c.Stride + 1
+	return prod.Reshape(c.Filters(), outH, outW)
+}
+
+// binarize thresholds a real map into a 0/1 map.
+func binarize(x *tensor.Tensor, t float64) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data() {
+		if v > t {
+			out.Data()[i] = 1
+		}
+	}
+	return out
+}
+
+// maxPool is float max pooling (used only in the float remainder of
+// the greedy search; the quantized pipeline uses orPool).
+func maxPool(x *tensor.Tensor, size int) *tensor.Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := h/size, w/size
+	out := tensor.New(c, oh, ow)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := math.Inf(-1)
+				for ky := 0; ky < size; ky++ {
+					for kx := 0; kx < size; kx++ {
+						if v := x.At(ch, oy*size+ky, ox*size+kx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(best, ch, oy, ox)
+			}
+		}
+	}
+	return out
+}
+
+// floatRemainder runs stages from (the input of conv stage `from`)
+// through the original float semantics — conv, ReLU, max-pool — and
+// the FC classifier, returning the predicted class. This is the
+// not-yet-quantized tail of the greedy search.
+func floatRemainder(q *QuantizedNet, from int, x *tensor.Tensor) int {
+	for l := from; l < len(q.Convs); l++ {
+		x = floatConv(&q.Convs[l], x)
+		for i, v := range x.Data() {
+			if v < 0 {
+				x.Data()[i] = 0
+			}
+		}
+		if q.Convs[l].PoolSize > 1 {
+			x = maxPool(x, q.Convs[l].PoolSize)
+		}
+	}
+	y := tensor.MatVec(q.FC.W, x.Data())
+	for i := range y {
+		y[i] += q.FC.B[i]
+	}
+	return tensor.FromSlice(y, len(y)).ArgMax()
+}

@@ -1,0 +1,129 @@
+package rram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sei/internal/tensor"
+)
+
+func TestTransferLinearDefault(t *testing.T) {
+	m := DefaultDeviceModel()
+	f := m.Transfer()
+	for _, x := range []float64{0, 0.25, 0.5, 1} {
+		if f(x) != x {
+			t.Fatalf("linear transfer f(%v) = %v", x, f(x))
+		}
+	}
+	if m.TransferGain() != 1 {
+		t.Fatalf("linear gain %v, want 1", m.TransferGain())
+	}
+}
+
+func TestTransferSinhShape(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.IVNonlinearity = 2
+	f := m.Transfer()
+	if f(0) != 0 {
+		t.Fatal("f(0) != 0")
+	}
+	// sinh is superlinear: f(1) > 1 and f is convex on [0,1].
+	if f(1) <= 1 {
+		t.Fatalf("f(1) = %v, want > 1", f(1))
+	}
+	if f(0.5) >= 0.5*f(1) {
+		t.Fatalf("sinh transfer not convex: f(0.5)=%v, f(1)/2=%v", f(0.5), f(1)/2)
+	}
+	if math.Abs(f(1)-math.Sinh(2)/2) > 1e-12 {
+		t.Fatalf("f(1) = %v, want sinh(2)/2", f(1))
+	}
+}
+
+// Property: the sinh transfer converges to linear as the nonlinearity
+// vanishes.
+func TestTransferConvergesToLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := rng.Float64()
+		m := DefaultDeviceModel()
+		m.IVNonlinearity = 1e-4
+		return math.Abs(m.Transfer()(x)-x) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the transfer is strictly increasing (a physical I-V curve).
+func TestTransferMonotone(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.IVNonlinearity = 3
+	f := m.Transfer()
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.01 {
+		if f(x) <= prev {
+			t.Fatalf("transfer not increasing at x=%v", x)
+		}
+		prev = f(x)
+	}
+}
+
+func TestTransferCalibratedFixedPoints(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.IVNonlinearity = 2.5
+	f := m.TransferCalibrated()
+	if f(0) != 0 || math.Abs(f(1)-1) > 1e-15 {
+		t.Fatalf("calibrated transfer endpoints f(0)=%v f(1)=%v", f(0), f(1))
+	}
+	// Convexity: intermediate voltages under-contribute after full-swing
+	// calibration.
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		if f(x) >= x {
+			t.Fatalf("calibrated f(%v) = %v, want < x", x, f(x))
+		}
+	}
+	// Linear device: identity.
+	lin := DefaultDeviceModel()
+	if g := lin.TransferCalibrated(); g(0.37) != 0.37 {
+		t.Fatal("linear calibrated transfer not identity")
+	}
+}
+
+func TestValidateRejectsNegativeNonlinearity(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.IVNonlinearity = -1
+	if m.Validate() == nil {
+		t.Fatal("accepted negative nonlinearity")
+	}
+}
+
+func TestMVMNonlinearDistortsAnalogNotBinary(t *testing.T) {
+	lin := IdealDeviceModel(4)
+	nl := lin
+	nl.IVNonlinearity = 2
+	target := tensor.New(4, 1)
+	for i := range target.Data() {
+		target.Data()[i] = float64(i) / 4
+	}
+	rng := rand.New(rand.NewSource(1))
+	cbLin, _ := NewCrossbar(4, 1, lin)
+	cbLin.Program(target, rng)
+	cbNL, _ := NewCrossbar(4, 1, nl)
+	cbNL.Program(target, rng)
+
+	// Binary input: nonlinear result is exactly gain·linear.
+	bin := []float64{1, 0, 1, 1}
+	gain := nl.TransferGain()
+	if math.Abs(cbNL.MVM(bin, nil)[0]-gain*cbLin.MVM(bin, nil)[0]) > 1e-15 {
+		t.Fatal("binary input not uniformly scaled under nonlinearity")
+	}
+
+	// Analog input: the result is NOT a uniform scaling (distortion).
+	ana := []float64{0.2, 0.9, 0.5, 0.1}
+	ratio := cbNL.MVM(ana, nil)[0] / cbLin.MVM(ana, nil)[0]
+	if math.Abs(ratio-gain) < 1e-6 {
+		t.Fatalf("analog input scaled uniformly (ratio %v = gain %v); expected distortion", ratio, gain)
+	}
+}

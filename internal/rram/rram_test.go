@@ -1,0 +1,444 @@
+package rram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sei/internal/tensor"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultDeviceModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultDeviceModel().Levels() != 16 {
+		t.Fatalf("default device has %d levels, want 16 (4-bit)", DefaultDeviceModel().Levels())
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []DeviceModel{
+		{Bits: 0, GOn: 1e-4, GOff: 1e-6},
+		{Bits: 9, GOn: 1e-4, GOff: 1e-6},
+		{Bits: 4, GOn: 1e-6, GOff: 1e-4}, // inverted range
+		{Bits: 4, GOn: 1e-4, GOff: 1e-6, ProgramSigma: -1},
+		{Bits: 4, GOn: 1e-4, GOff: 1e-6, StuckOnRate: 0.6, StuckOffRate: 0.6},
+		{Bits: 4, GOn: 1e-4, GOff: 1e-6, IRDropAlpha: 1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("model %d validated but is invalid: %+v", i, m)
+		}
+	}
+}
+
+func TestLevelConductanceMonotone(t *testing.T) {
+	m := DefaultDeviceModel()
+	prev := -1.0
+	for l := 0; l <= m.MaxLevel(); l++ {
+		g := m.LevelConductance(l)
+		if g <= prev {
+			t.Fatalf("conductance not strictly increasing at level %d", l)
+		}
+		prev = g
+	}
+	if m.LevelConductance(0) != m.GOff || m.LevelConductance(m.MaxLevel()) != m.GOn {
+		t.Fatal("level endpoints do not hit GOff/GOn")
+	}
+}
+
+func TestLevelConductancePanics(t *testing.T) {
+	m := DefaultDeviceModel()
+	for _, l := range []int{-1, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LevelConductance(%d) did not panic", l)
+				}
+			}()
+			m.LevelConductance(l)
+		}()
+	}
+}
+
+func TestQuantizeToLevel(t *testing.T) {
+	m := DefaultDeviceModel()
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-0.5, 0}, {0, 0}, {1, 15}, {2, 15},
+		{0.5, 8}, {1.0 / 15, 1}, {0.49 / 15, 0},
+	}
+	for _, c := range cases {
+		if got := m.QuantizeToLevel(c.v); got != c.want {
+			t.Errorf("QuantizeToLevel(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestProgramConductanceVariationStats(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.ProgramSigma = 0.1
+	rng := rand.New(rand.NewSource(1))
+	const n = 4000
+	sum, sum2 := 0.0, 0.0
+	nominal := m.LevelConductance(10)
+	for i := 0; i < n; i++ {
+		g := m.ProgramConductance(10, rng)
+		r := math.Log(g / nominal)
+		sum += r
+		sum2 += r * r
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("lognormal mean %.4f, want ≈0", mean)
+	}
+	if std < 0.08 || std > 0.12 {
+		t.Fatalf("lognormal std %.4f, want ≈0.1", std)
+	}
+}
+
+func TestStuckFaultRates(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.ProgramSigma = 0
+	m.StuckOnRate = 0.1
+	m.StuckOffRate = 0.2
+	rng := rand.New(rand.NewSource(2))
+	const n = 10000
+	on, off := 0, 0
+	for i := 0; i < n; i++ {
+		switch g := m.ProgramConductance(8, rng); g {
+		case m.GOn:
+			on++
+		case m.GOff:
+			off++
+		}
+	}
+	if fr := float64(on) / n; fr < 0.08 || fr > 0.12 {
+		t.Fatalf("stuck-on rate %.3f, want ≈0.1", fr)
+	}
+	if fr := float64(off) / n; fr < 0.17 || fr > 0.23 {
+		t.Fatalf("stuck-off rate %.3f, want ≈0.2", fr)
+	}
+}
+
+func TestNewCrossbarLimits(t *testing.T) {
+	m := DefaultDeviceModel()
+	if _, err := NewCrossbar(513, 10, m); err == nil {
+		t.Fatal("accepted crossbar beyond fabrication limit")
+	}
+	if _, err := NewCrossbar(0, 10, m); err == nil {
+		t.Fatal("accepted zero-row crossbar")
+	}
+	if _, err := NewCrossbar(512, 512, m); err != nil {
+		t.Fatalf("rejected legal 512×512 crossbar: %v", err)
+	}
+}
+
+func TestMVMIdealExact(t *testing.T) {
+	m := IdealDeviceModel(4)
+	m.ProgramSigma = 0
+	cb, err := NewCrossbar(3, 2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := tensor.FromSlice([]float64{
+		0, 1,
+		0.5, 0.25,
+		1, 0,
+	}, 3, 2)
+	rng := rand.New(rand.NewSource(1))
+	if err := cb.Program(target, rng); err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, 1, 0.5}
+	got := cb.MVM(v, nil)
+	// Column currents from first principles.
+	for k := 0; k < 2; k++ {
+		want := 0.0
+		for j := 0; j < 3; j++ {
+			want += cb.Conductance(j, k) * v[j]
+		}
+		if math.Abs(got[k]-want) > 1e-18 {
+			t.Fatalf("MVM col %d = %g, want %g", k, got[k], want)
+		}
+	}
+}
+
+func TestWeightedSumRecoversIntegers(t *testing.T) {
+	// With an ideal device, WeightedSum over binary inputs must return
+	// exact integer dot products in level units.
+	m := IdealDeviceModel(4)
+	cb, _ := NewCrossbar(8, 3, m)
+	rng := rand.New(rand.NewSource(3))
+	levels := make([]int, 8*3)
+	for i := range levels {
+		levels[i] = rng.Intn(16)
+	}
+	if err := cb.ProgramLevels(levels, rng); err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, 0, 1, 1, 0, 0, 1, 1}
+	got := cb.WeightedSum(v, nil)
+	for k := 0; k < 3; k++ {
+		want := 0.0
+		for j := 0; j < 8; j++ {
+			want += v[j] * float64(levels[j*3+k])
+		}
+		if math.Abs(got[k]-want) > 1e-9 {
+			t.Fatalf("WeightedSum col %d = %v, want %v", k, got[k], want)
+		}
+	}
+}
+
+func TestEffectiveWeightsMatchWeightedSum(t *testing.T) {
+	m := DefaultDeviceModel() // includes programming variation
+	cb, _ := NewCrossbar(10, 4, m)
+	rng := rand.New(rand.NewSource(4))
+	target := tensor.New(10, 4)
+	for i := range target.Data() {
+		target.Data()[i] = rng.Float64()
+	}
+	if err := cb.Program(target, rng); err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, 10)
+	for i := range v {
+		if rng.Float64() < 0.5 {
+			v[i] = 1
+		}
+	}
+	direct := cb.WeightedSum(v, nil)
+	eff := cb.EffectiveWeights()
+	fast := tensor.MatVecT(eff, v)
+	for k := range direct {
+		if math.Abs(direct[k]-fast[k]) > 1e-9*(1+math.Abs(direct[k])) {
+			t.Fatalf("effective-weight fast path diverges at col %d: %v vs %v", k, fast[k], direct[k])
+		}
+	}
+}
+
+func TestProgramShapeMismatch(t *testing.T) {
+	cb, _ := NewCrossbar(4, 4, DefaultDeviceModel())
+	if err := cb.Program(tensor.New(3, 4), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted wrong target shape")
+	}
+	if err := cb.ProgramLevels(make([]int, 5), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted wrong level count")
+	}
+	if err := cb.ProgramLevels(append(make([]int, 15), 99), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("accepted out-of-range level")
+	}
+}
+
+func TestIRDropReducesCurrent(t *testing.T) {
+	m := IdealDeviceModel(4)
+	m.IRDropAlpha = 0.2
+	cb, _ := NewCrossbar(100, 1, m)
+	rng := rand.New(rand.NewSource(5))
+	target := tensor.New(100, 1)
+	target.Fill(1)
+	cb.Program(target, rng)
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = 1
+	}
+	withDrop := cb.MVM(v, nil)[0]
+	m.IRDropAlpha = 0
+	cb2, _ := NewCrossbar(100, 1, m)
+	cb2.Program(target, rng)
+	ideal := cb2.MVM(v, nil)[0]
+	wantScale := 1 - 0.2*100.0/512
+	if math.Abs(withDrop/ideal-wantScale) > 1e-9 {
+		t.Fatalf("IR drop scale %v, want %v", withDrop/ideal, wantScale)
+	}
+}
+
+func TestReadNoisePerturbsButUnbiased(t *testing.T) {
+	m := IdealDeviceModel(4)
+	m.ReadNoiseSigma = 0.05
+	cb, _ := NewCrossbar(4, 1, m)
+	rng := rand.New(rand.NewSource(6))
+	target := tensor.New(4, 1)
+	target.Fill(0.5)
+	cb.Program(target, rng)
+	v := []float64{1, 1, 1, 1}
+	m.ReadNoiseSigma = 0
+	cbClean, _ := NewCrossbar(4, 1, m)
+	cbClean.Program(target, rng)
+	clean := cbClean.MVM(v, nil)[0]
+	sum := 0.0
+	const n = 2000
+	sawDifferent := false
+	for i := 0; i < n; i++ {
+		x := cb.MVM(v, rng)[0]
+		if x != clean {
+			sawDifferent = true
+		}
+		sum += x
+	}
+	if !sawDifferent {
+		t.Fatal("read noise had no effect")
+	}
+	if math.Abs(sum/n-clean) > 0.01*clean {
+		t.Fatalf("read noise biased: mean %v vs clean %v", sum/n, clean)
+	}
+}
+
+func TestReadNoiseRequiresRNG(t *testing.T) {
+	m := IdealDeviceModel(4)
+	m.ReadNoiseSigma = 0.1
+	cb, _ := NewCrossbar(2, 2, m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MVM with read noise and nil rng did not panic")
+		}
+	}()
+	cb.MVM([]float64{1, 1}, nil)
+}
+
+func TestQuantizeSymmetric(t *testing.T) {
+	w := tensor.FromSlice([]float64{-2, -1, 0, 0.5, 2}, 5)
+	q, scale, err := QuantizeSymmetric(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != -127 || q[4] != 127 || q[2] != 0 {
+		t.Fatalf("quantized %v", q)
+	}
+	if math.Abs(scale-2.0/127) > 1e-12 {
+		t.Fatalf("scale %v, want %v", scale, 2.0/127)
+	}
+	// Round-trip error bounded by scale/2.
+	for i, v := range w.Data() {
+		if math.Abs(float64(q[i])*scale-v) > scale/2+1e-12 {
+			t.Fatalf("round-trip error too large at %d", i)
+		}
+	}
+}
+
+func TestQuantizeSymmetricZeroMatrix(t *testing.T) {
+	q, scale, err := QuantizeSymmetric(tensor.New(4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Fatalf("zero-matrix scale %v, want 1", scale)
+	}
+	for _, v := range q {
+		if v != 0 {
+			t.Fatal("zero matrix quantized to nonzero")
+		}
+	}
+}
+
+func TestQuantizeSymmetricBadBits(t *testing.T) {
+	if _, _, err := QuantizeSymmetric(tensor.New(2), 1); err == nil {
+		t.Fatal("accepted 1-bit weights")
+	}
+}
+
+func TestNibblesAndSliceWeight(t *testing.T) {
+	hi, lo := Nibbles(0xAB, 4)
+	if hi != 0xA || lo != 0xB {
+		t.Fatalf("Nibbles(0xAB) = %x,%x", hi, lo)
+	}
+	ph, pl, nh, nl := SliceWeight(127, 4)
+	if ph != 7 || pl != 15 || nh != 0 || nl != 0 {
+		t.Fatalf("SliceWeight(127) = %d,%d,%d,%d", ph, pl, nh, nl)
+	}
+	ph, pl, nh, nl = SliceWeight(-38, 4)
+	if ph != 0 || pl != 0 || nh != 2 || nl != 6 {
+		t.Fatalf("SliceWeight(-38) = %d,%d,%d,%d", ph, pl, nh, nl)
+	}
+}
+
+// Property: SliceWeight/ReconstructWeight round-trip for all 8-bit
+// signed weights.
+func TestSliceWeightRoundTrip(t *testing.T) {
+	f := func(q int16) bool {
+		v := int(q % 128)
+		ph, pl, nh, nl := SliceWeight(v, 4)
+		for _, cell := range []int{ph, pl, nh, nl} {
+			if cell < 0 || cell > 15 {
+				return false
+			}
+		}
+		return ReconstructWeight(ph, pl, nh, nl, 4) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceCount(t *testing.T) {
+	cases := []struct{ wb, db, want int }{
+		{8, 4, 2}, {8, 2, 4}, {8, 3, 3}, {8, 5, 2}, {8, 8, 1}, {8, 6, 2},
+	}
+	for _, c := range cases {
+		if got := SliceCount(c.wb, c.db); got != c.want {
+			t.Errorf("SliceCount(%d,%d) = %d, want %d", c.wb, c.db, got, c.want)
+		}
+	}
+}
+
+// Property: SliceMagnitude digits reconstruct the magnitude and each
+// digit fits the device level range, for every device precision.
+func TestSliceMagnitudeRoundTrip(t *testing.T) {
+	f := func(raw uint8, bitsRaw uint8) bool {
+		m := int(raw)
+		bits := 2 + int(bitsRaw)%7 // 2..8
+		digits := SliceMagnitude(m, 8, bits)
+		recon, coeff := 0, 1
+		for _, d := range digits {
+			if d < 0 || d >= 1<<bits {
+				return false
+			}
+			recon += d * coeff
+			coeff <<= bits
+		}
+		return recon == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceMagnitudePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative magnitude did not panic")
+		}
+	}()
+	SliceMagnitude(-1, 8, 4)
+}
+
+func TestReadEnergyCellCount(t *testing.T) {
+	cb, _ := NewCrossbar(4, 3, DefaultDeviceModel())
+	if got := cb.ReadEnergyCellCount([]float64{1, 0, 0.5, 0}); got != 6 {
+		t.Fatalf("ReadEnergyCellCount = %d, want 6", got)
+	}
+}
+
+func TestProgramDeterministicWithSeed(t *testing.T) {
+	m := DefaultDeviceModel()
+	target := tensor.New(6, 6)
+	for i := range target.Data() {
+		target.Data()[i] = float64(i) / 36
+	}
+	a, _ := NewCrossbar(6, 6, m)
+	b, _ := NewCrossbar(6, 6, m)
+	a.Program(target, rand.New(rand.NewSource(7)))
+	b.Program(target, rand.New(rand.NewSource(7)))
+	for j := 0; j < 6; j++ {
+		for k := 0; k < 6; k++ {
+			if a.Conductance(j, k) != b.Conductance(j, k) {
+				t.Fatal("programming is not deterministic under a fixed seed")
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package rram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sei/internal/tensor"
+)
+
+func writeTarget(n, m int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	tgt := tensor.New(n, m)
+	for i := range tgt.Data() {
+		tgt.Data()[i] = rng.Float64()
+	}
+	return tgt
+}
+
+func TestProgramVerifyIdealOnePulse(t *testing.T) {
+	m := IdealDeviceModel(4)
+	cb, _ := NewCrossbar(8, 8, m)
+	stats, err := cb.ProgramVerify(writeTarget(8, 8, 1), DefaultWriteConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalPulses != 64 || stats.MeanPulses() != 1 {
+		t.Fatalf("ideal device needed %.2f pulses/cell, want 1", stats.MeanPulses())
+	}
+	if stats.FailedCells != 0 || stats.MaxRelError != 0 {
+		t.Fatalf("ideal device stats wrong: %+v", stats)
+	}
+}
+
+func TestProgramVerifyTightensPrecision(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.ProgramSigma = 0.1 // heavy variation
+	cfg := DefaultWriteConfig()
+	cfg.Tolerance = 0.03
+	cfg.MaxPulses = 200
+	cb, _ := NewCrossbar(12, 12, m)
+	tgt := writeTarget(12, 12, 3)
+	stats, err := cb.ProgramVerify(tgt, cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FailedCells != 0 {
+		t.Fatalf("%d cells failed with generous pulse budget", stats.FailedCells)
+	}
+	if stats.MeanPulses() <= 1.5 {
+		t.Fatalf("heavy variation verified in %.2f pulses/cell; expected retries", stats.MeanPulses())
+	}
+	// Every cell within tolerance of its nominal level.
+	for j := 0; j < 12; j++ {
+		for k := 0; k < 12; k++ {
+			nominal := m.LevelConductance(cb.Level(j, k))
+			if rel := math.Abs(cb.Conductance(j, k)-nominal) / nominal; rel > cfg.Tolerance+1e-12 {
+				t.Fatalf("cell (%d,%d) error %.4f beyond tolerance", j, k, rel)
+			}
+		}
+	}
+	if stats.EnergyPJ != float64(stats.TotalPulses)*cfg.PulseEnergyPJ {
+		t.Fatal("energy accounting wrong")
+	}
+}
+
+func TestProgramVerifyMorePulsesWithMoreVariation(t *testing.T) {
+	pulses := func(sigma float64) float64 {
+		m := DefaultDeviceModel()
+		m.ProgramSigma = sigma
+		cb, _ := NewCrossbar(16, 16, m)
+		cfg := DefaultWriteConfig()
+		cfg.MaxPulses = 500
+		stats, err := cb.ProgramVerify(writeTarget(16, 16, 5), cfg, rand.New(rand.NewSource(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.MeanPulses()
+	}
+	low, high := pulses(0.01), pulses(0.08)
+	if high <= low {
+		t.Fatalf("more variation did not need more pulses: %.2f vs %.2f", high, low)
+	}
+}
+
+func TestProgramVerifyStuckCellsFail(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.StuckOffRate = 1 // every cell stuck at GOff
+	cb, _ := NewCrossbar(4, 4, m)
+	tgt := tensor.New(4, 4)
+	tgt.Fill(1) // want GOn everywhere
+	cfg := DefaultWriteConfig()
+	cfg.MaxPulses = 5
+	stats, err := cb.ProgramVerify(tgt, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FailedCells != 16 {
+		t.Fatalf("stuck cells failed: %d, want 16", stats.FailedCells)
+	}
+	if stats.TotalPulses != 16*5 {
+		t.Fatalf("pulses %d, want full budget 80", stats.TotalPulses)
+	}
+}
+
+func TestProgramVerifyValidation(t *testing.T) {
+	cb, _ := NewCrossbar(4, 4, DefaultDeviceModel())
+	rng := rand.New(rand.NewSource(1))
+	if _, err := cb.ProgramVerify(tensor.New(3, 4), DefaultWriteConfig(), rng); err == nil {
+		t.Fatal("accepted wrong target shape")
+	}
+	bad := DefaultWriteConfig()
+	bad.Tolerance = 0
+	if _, err := cb.ProgramVerify(tensor.New(4, 4), bad, rng); err == nil {
+		t.Fatal("accepted zero tolerance")
+	}
+}
+
+func TestExpectedPulsesMatchesMonteCarlo(t *testing.T) {
+	m := DefaultDeviceModel()
+	m.ProgramSigma = 0.05
+	cfg := DefaultWriteConfig()
+	cfg.Tolerance = 0.03
+	cfg.MaxPulses = 500
+	want := ExpectedPulses(m, cfg)
+
+	cb, _ := NewCrossbar(24, 24, m)
+	stats, err := cb.ProgramVerify(writeTarget(24, 24, 21), cfg, rand.New(rand.NewSource(22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.MeanPulses()
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("closed-form pulses %.2f vs Monte-Carlo %.2f (>25%% apart)", want, got)
+	}
+}
+
+func TestExpectedPulsesEdgeCases(t *testing.T) {
+	cfg := DefaultWriteConfig()
+	m := IdealDeviceModel(4)
+	if ExpectedPulses(m, cfg) != 1 {
+		t.Fatal("ideal device should need one pulse")
+	}
+	m.ProgramSigma = 10 // hopeless variation → capped at MaxPulses
+	if got := ExpectedPulses(m, cfg); got != float64(cfg.MaxPulses) {
+		t.Fatalf("hopeless device pulses %.1f, want cap %d", got, cfg.MaxPulses)
+	}
+}
+
+func TestDeploymentEnergy(t *testing.T) {
+	m := IdealDeviceModel(4)
+	cfg := DefaultWriteConfig()
+	// 1000 cells × 1 pulse × 10 pJ.
+	if got := DeploymentEnergyPJ(1000, m, cfg); got != 10000 {
+		t.Fatalf("deployment energy %v, want 10000", got)
+	}
+}
+
+func TestProgramVerifyImprovesOverPlainProgram(t *testing.T) {
+	// The verified array's MVM must be closer to the ideal result than
+	// the plain-programmed one under the same heavy variation.
+	m := DefaultDeviceModel()
+	m.ProgramSigma = 0.15
+	tgt := writeTarget(32, 8, 9)
+
+	ideal, _ := NewCrossbar(32, 8, IdealDeviceModel(4))
+	ideal.Program(tgt, rand.New(rand.NewSource(1)))
+	plain, _ := NewCrossbar(32, 8, m)
+	plain.Program(tgt, rand.New(rand.NewSource(2)))
+	verified, _ := NewCrossbar(32, 8, m)
+	cfg := DefaultWriteConfig()
+	cfg.MaxPulses = 300
+	if _, err := verified.ProgramVerify(tgt, cfg, rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+
+	v := make([]float64, 32)
+	rng := rand.New(rand.NewSource(3))
+	for i := range v {
+		if rng.Float64() < 0.5 {
+			v[i] = 1
+		}
+	}
+	ref := ideal.WeightedSum(v, nil)
+	errOf := func(c *Crossbar) float64 {
+		out := c.WeightedSum(v, nil)
+		s := 0.0
+		for k := range out {
+			d := out[k] - ref[k]
+			s += d * d
+		}
+		return s
+	}
+	if errOf(verified) >= errOf(plain) {
+		t.Fatalf("verify did not improve MVM fidelity: %.4f vs %.4f", errOf(verified), errOf(plain))
+	}
+}

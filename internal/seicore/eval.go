@@ -1,0 +1,407 @@
+package seicore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/quant"
+	"sei/internal/rram"
+	"sei/internal/tensor"
+)
+
+// Structure identifies the three crossbar organizations of Table 5.
+type Structure int
+
+const (
+	// StructDACADC is the original design: 8-bit data through DACs,
+	// four crossbars per matrix merged by ADCs (Fig. 2b).
+	StructDACADC Structure = iota
+	// StructOneBitADC keeps ADC merging but feeds quantized 1-bit
+	// intermediate data (no DACs except the input layer).
+	StructOneBitADC
+	// StructSEI is the proposed design: 1-bit inputs as selection
+	// signals, merging inside the analog sum, sense amplifiers instead
+	// of ADCs (Fig. 2c/d).
+	StructSEI
+)
+
+func (s Structure) String() string {
+	switch s {
+	case StructDACADC:
+		return "DAC+ADC"
+	case StructOneBitADC:
+		return "1-bit-Input+ADC"
+	case StructSEI:
+		return "SEI"
+	default:
+		return fmt.Sprintf("Structure(%d)", int(s))
+	}
+}
+
+// SEIBuildConfig configures BuildSEI.
+type SEIBuildConfig struct {
+	Layer LayerOptions
+	// Orders[l] permutes conv stage l's logical rows before splitting
+	// (from package homog); nil entries use natural order. Only stages
+	// that actually split (K > 1) are affected.
+	Orders [][]int
+	// DynamicThreshold enables the Section-4.3 input-dynamic
+	// compensation, calibrated on the training set.
+	DynamicThreshold bool
+	// Calibration controls the γ/D search when DynamicThreshold or
+	// SearchDigital calibration is wanted.
+	Calibration CalibrationConfig
+	// CalibImages and CalibPositions bound the calibration workload:
+	// up to CalibImages training images, up to CalibPositions receptive
+	// fields sampled per image and stage.
+	CalibImages, CalibPositions int
+}
+
+// DefaultSEIBuildConfig returns the paper's default SEI setup.
+func DefaultSEIBuildConfig() SEIBuildConfig {
+	return SEIBuildConfig{
+		Layer:            DefaultLayerOptions(),
+		DynamicThreshold: true,
+		Calibration:      DefaultCalibrationConfig(),
+		CalibImages:      60,
+		CalibPositions:   24,
+	}
+}
+
+// SEIDesign is a quantized network mapped onto the SEI structure. The
+// input layer keeps the DAC+ADC organization (Section 3.2: input
+// pictures still need high precision); deeper conv stages are SEI
+// crossbars with SA readout; the FC stage is SEI with per-block
+// digital summation feeding the argmax.
+type SEIDesign struct {
+	Q     *quant.QuantizedNet
+	Input *MergedLayer // conv stage 0 (DAC-driven)
+	Convs []*SEIConvLayer
+	FC    *SEIFCLayer
+	// CalibResults records per-stage calibration outcomes (stage index
+	// ≥ 1), when calibration ran.
+	CalibResults map[int]CalibrationResult
+}
+
+var _ quant.StageEval = (*SEIDesign)(nil)
+
+// BuildSEI maps the quantized network onto SEI hardware. train is used
+// only for dynamic-threshold calibration and may be nil when
+// cfg.DynamicThreshold is false.
+func BuildSEI(q *quant.QuantizedNet, train *mnist.Dataset, cfg SEIBuildConfig, rng *rand.Rand) (*SEIDesign, error) {
+	if len(q.Convs) < 1 {
+		return nil, fmt.Errorf("seicore: quantized net has no conv stages")
+	}
+	d := &SEIDesign{Q: q, CalibResults: map[int]CalibrationResult{}}
+
+	input, err := NewMergedLayer(q.ConvMatrix(0), cfg.Layer.Model, rng)
+	if err != nil {
+		return nil, fmt.Errorf("seicore: input stage: %w", err)
+	}
+	d.Input = input
+
+	for l := 1; l < len(q.Convs); l++ {
+		opt := cfg.Layer
+		if cfg.Orders != nil && l < len(cfg.Orders) {
+			opt.Order = cfg.Orders[l]
+		}
+		layer, err := NewSEIConvLayer(q.ConvMatrix(l), q.Thresholds[l], opt, rng)
+		if err != nil {
+			return nil, fmt.Errorf("seicore: conv stage %d: %w", l, err)
+		}
+		d.Convs = append(d.Convs, layer)
+	}
+
+	fcOpt := cfg.Layer
+	fcOpt.Order = nil // FC blocks are summed exactly; order is irrelevant
+	fc, err := NewSEIFCLayer(q.FCMatrix(), q.FC.B, fcOpt, rng)
+	if err != nil {
+		return nil, fmt.Errorf("seicore: FC stage: %w", err)
+	}
+	d.FC = fc
+
+	if cfg.DynamicThreshold && train != nil && train.Len() > 0 {
+		if err := d.calibrate(train, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// calibrate runs the Section-4.3 dynamic-threshold optimization for
+// every split SEI conv stage. The paper optimizes "the interval of
+// dynamic threshold" on the training set; we grid-search each split
+// layer's slope γ and digital count threshold D directly against
+// classification accuracy on the calibration images (the per-bit
+// agreement objective of SEIConvLayer.Calibrate is too flat to
+// discriminate D choices reliably).
+func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
+	data := train
+	if cfg.CalibImages > 0 && cfg.CalibImages < train.Len() {
+		data = train.Subset(cfg.CalibImages)
+	}
+	accuracy := func() float64 {
+		correct := 0
+		for i, img := range data.Images {
+			if d.Predict(img) == data.Labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(data.Len())
+	}
+	for li, layer := range d.Convs {
+		stage := li + 1 // conv stage index in the quantized net
+		if layer.K <= 1 {
+			continue // no splitting, nothing to compensate
+		}
+		// Per-block mean active counts from the digital pipeline.
+		samples := d.collectCalibration(stage, data.Images, cfg.CalibPositions)
+		if len(samples) == 0 {
+			return fmt.Errorf("seicore: no calibration samples for stage %d", stage)
+		}
+		onesMean := make([]float64, layer.K)
+		meanOnes := 0.0
+		for _, s := range samples {
+			_, _, ones := layer.BlockSums(s.In)
+			for b, o := range ones {
+				onesMean[b] += float64(o)
+				meanOnes += float64(o)
+			}
+		}
+		for b := range onesMean {
+			onesMean[b] /= float64(len(samples))
+		}
+		meanOnes /= float64(len(samples))
+		layer.OnesMean = onesMean
+
+		gammaUnit := 0.0
+		if meanOnes > 0 {
+			gammaUnit = layer.Threshold / meanOnes
+		}
+		defaultD := (layer.K + 2) / 2
+		layer.Gamma, layer.DigitalThreshold = 0, defaultD
+		before := accuracy()
+		bestGamma, bestD, bestAcc := 0.0, defaultD, before
+		for _, f := range cfg.Calibration.GammaFactors {
+			gamma := f * gammaUnit
+			dLo, dHi := defaultD, defaultD
+			if cfg.Calibration.SearchDigital {
+				dLo, dHi = 1, layer.K
+			}
+			for dt := dLo; dt <= dHi; dt++ {
+				layer.Gamma, layer.DigitalThreshold = gamma, dt
+				if acc := accuracy(); acc > bestAcc {
+					bestGamma, bestD, bestAcc = gamma, dt, acc
+				}
+			}
+		}
+		layer.Gamma, layer.DigitalThreshold = bestGamma, bestD
+		d.CalibResults[stage] = CalibrationResult{
+			Gamma:            bestGamma,
+			DigitalThreshold: bestD,
+			OnesMean:         onesMean,
+			AgreementBefore:  before,
+			AgreementAfter:   bestAcc,
+		}
+	}
+	return nil
+}
+
+// collectCalibration gathers (receptive field, digital reference bits)
+// pairs for one conv stage from training images, using the exact
+// digital pipeline for both the stage inputs and the reference.
+func (d *SEIDesign) collectCalibration(stage int, images []*tensor.Tensor, maxPositions int) []CalibrationSample {
+	q := d.Q
+	digital := q.Digital()
+	var samples []CalibrationSample
+	for _, img := range images {
+		acts := q.BinaryActivations(img)
+		in := acts[stage-1] // activation map entering this stage
+		c := &q.Convs[stage]
+		kh, kw := c.W.Dim(2), c.W.Dim(3)
+		cols := tensor.Im2Col(in, kh, kw, c.Stride)
+		positions := cols.Dim(0)
+		fan := cols.Dim(1)
+		step := 1
+		if maxPositions > 0 && positions > maxPositions {
+			step = positions / maxPositions
+		}
+		for p := 0; p < positions; p += step {
+			field := append([]float64(nil), cols.Data()[p*fan:(p+1)*fan]...)
+			samples = append(samples, CalibrationSample{
+				In:  field,
+				Ref: digital.EvalConv(stage, field),
+			})
+		}
+	}
+	return samples
+}
+
+// EvalConv implements quant.StageEval.
+func (d *SEIDesign) EvalConv(l int, in []float64) []bool {
+	if l == 0 {
+		out := d.Input.Eval(in)
+		bits := make([]bool, len(out))
+		thr := d.Q.Thresholds[0]
+		for k, v := range out {
+			bits[k] = v > thr
+		}
+		return bits
+	}
+	return d.Convs[l-1].Eval(in)
+}
+
+// EvalFC implements quant.StageEval.
+func (d *SEIDesign) EvalFC(in []float64) []float64 { return d.FC.Eval(in) }
+
+// Predict classifies one image through the SEI hardware simulation.
+func (d *SEIDesign) Predict(img *tensor.Tensor) int {
+	return d.Q.PredictWith(d, img)
+}
+
+// MergedDesign is a quantized network in which every stage keeps the
+// ADC-merging organization (StructOneBitADC): functionally the digital
+// quantized network computed against device-perturbed weights.
+type MergedDesign struct {
+	Q      *quant.QuantizedNet
+	Stages []*MergedLayer
+	FC     *MergedLayer
+}
+
+var _ quant.StageEval = (*MergedDesign)(nil)
+
+// BuildOneBitADC maps the quantized network onto the 1-bit-input,
+// ADC-merged structure.
+func BuildOneBitADC(q *quant.QuantizedNet, model rram.DeviceModel, rng *rand.Rand) (*MergedDesign, error) {
+	d := &MergedDesign{Q: q}
+	for l := range q.Convs {
+		layer, err := NewMergedLayer(q.ConvMatrix(l), model, rng)
+		if err != nil {
+			return nil, fmt.Errorf("seicore: conv stage %d: %w", l, err)
+		}
+		d.Stages = append(d.Stages, layer)
+	}
+	fc, err := NewMergedLayer(q.FCMatrix(), model, rng)
+	if err != nil {
+		return nil, fmt.Errorf("seicore: FC stage: %w", err)
+	}
+	d.FC = fc
+	return d, nil
+}
+
+// EvalConv implements quant.StageEval.
+func (d *MergedDesign) EvalConv(l int, in []float64) []bool {
+	out := d.Stages[l].Eval(in)
+	bits := make([]bool, len(out))
+	thr := d.Q.Thresholds[l]
+	for k, v := range out {
+		bits[k] = v > thr
+	}
+	return bits
+}
+
+// EvalFC implements quant.StageEval.
+func (d *MergedDesign) EvalFC(in []float64) []float64 {
+	out := d.FC.Eval(in)
+	for i := range out {
+		out[i] += d.Q.FC.B[i]
+	}
+	return out
+}
+
+// Predict classifies one image through the merged-hardware simulation.
+func (d *MergedDesign) Predict(img *tensor.Tensor) int {
+	return d.Q.PredictWith(d, img)
+}
+
+// FloatDesign is the original full-precision design (StructDACADC):
+// 8-bit data everywhere, conv stages and FC computed on ADC-merged
+// crossbars, ReLU and max pooling in the digital domain. It reproduces
+// the "before quantization" accuracy against device-perturbed weights.
+type FloatDesign struct {
+	specs []quant.ConvSpec
+	fcB   []float64
+	conv  []*MergedLayer
+	fc    *MergedLayer
+}
+
+// BuildDACADC maps a trained float network onto the traditional
+// structure.
+func BuildDACADC(net *nn.Network, inShape []int, model rram.DeviceModel, rng *rand.Rand) (*FloatDesign, error) {
+	q, err := quant.Extract(net, inShape)
+	if err != nil {
+		return nil, err
+	}
+	d := &FloatDesign{specs: q.Convs, fcB: q.FC.B}
+	for l := range q.Convs {
+		layer, err := NewMergedLayer(q.ConvMatrix(l), model, rng)
+		if err != nil {
+			return nil, fmt.Errorf("seicore: conv stage %d: %w", l, err)
+		}
+		d.conv = append(d.conv, layer)
+	}
+	fc, err := NewMergedLayer(q.FCMatrix(), model, rng)
+	if err != nil {
+		return nil, fmt.Errorf("seicore: FC stage: %w", err)
+	}
+	d.fc = fc
+	return d, nil
+}
+
+// Predict classifies one image with full-precision data flow.
+func (d *FloatDesign) Predict(img *tensor.Tensor) int {
+	cur := img
+	for l := range d.specs {
+		c := &d.specs[l]
+		kh, kw := c.W.Dim(2), c.W.Dim(3)
+		cols := tensor.Im2Col(cur, kh, kw, c.Stride)
+		positions, fan := cols.Dim(0), cols.Dim(1)
+		h, w := cur.Dim(1), cur.Dim(2)
+		outH := (h-kh)/c.Stride + 1
+		outW := (w-kw)/c.Stride + 1
+		next := tensor.New(c.Filters(), outH, outW)
+		for p := 0; p < positions; p++ {
+			out := d.conv[l].Eval(cols.Data()[p*fan : (p+1)*fan])
+			oy, ox := p/outW, p%outW
+			for k, v := range out {
+				if v > 0 { // digital ReLU
+					next.Set(v, k, oy, ox)
+				}
+			}
+		}
+		if c.PoolSize > 1 {
+			next = floatMaxPool(next, c.PoolSize)
+		}
+		cur = next
+	}
+	scores := d.fc.Eval(cur.Data())
+	for i := range scores {
+		scores[i] += d.fcB[i]
+	}
+	return tensor.FromSlice(scores, len(scores)).ArgMax()
+}
+
+// floatMaxPool is digital max pooling for the full-precision design.
+func floatMaxPool(x *tensor.Tensor, size int) *tensor.Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := h/size, w/size
+	out := tensor.New(c, oh, ow)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := x.At(ch, oy*size, ox*size)
+				for ky := 0; ky < size; ky++ {
+					for kx := 0; kx < size; kx++ {
+						if v := x.At(ch, oy*size+ky, ox*size+kx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(best, ch, oy, ox)
+			}
+		}
+	}
+	return out
+}

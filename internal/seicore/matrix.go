@@ -1,0 +1,147 @@
+// Package seicore implements the paper's primary contribution: the
+// SElected-by-Input (SEI) crossbar structure (Section 4) and the
+// ADC-merged baseline it is compared against.
+//
+// In SEI the 1-bit input data drive the crossbar's transmission gates
+// (selection), freeing the original input port to carry common
+// information of the weights in a row — the bit-significance
+// coefficient 2⁴ and the sign. One crossbar column therefore holds all
+// four cells (positive/negative × high/low nibble) of a signed 8-bit
+// weight, the weighted merge happens inside the analog sum (Equ. 6),
+// and a sense amplifier replaces the ADC. Large logical columns are
+// split across crossbars, each sub-block thresholding locally with a
+// digital count threshold on the fired bits, compensated by matrix
+// homogenization (package homog) and an input-dynamic threshold
+// column (Section 4.2/4.3).
+package seicore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sei/internal/rram"
+	"sei/internal/tensor"
+)
+
+// EffectiveSignedMatrix programs a real weight matrix [N,M] onto RRAM
+// cells using the paper's signed 8-bit representation — positive and
+// negative groups of ceil(8/Bits) precision slices each (the four-cell
+// pos/neg × high/low form for the paper's 4-bit devices) — and
+// returns the effective real-valued matrix the analog array actually
+// computes with: scale·Σᵢ 2^(Bits·i)·(cellᵢ⁺ − cellᵢ⁻) per weight,
+// where each stored slice carries the device model's programming
+// variation and faults. This one matrix is algebraically identical
+// whether the cells live in separate ADC-merged crossbars (Fig. 2b)
+// or stacked in one SEI column (Fig. 2c) — the structures differ in
+// interface cost, not in the computed sum.
+func EffectiveSignedMatrix(w *tensor.Tensor, model rram.DeviceModel, rng *rand.Rand) (*tensor.Tensor, float64, error) {
+	if err := model.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if w.Dims() != 2 {
+		return nil, 0, fmt.Errorf("seicore: weight matrix must be 2-D, got %v", w.Shape())
+	}
+	q, scale, err := rram.QuantizeSymmetric(w, rram.WeightBits)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxLvl := float64(model.MaxLevel())
+	gSpan := model.GOn - model.GOff
+	cell := func(digit int) float64 {
+		// Program the digit as a device level and read back the
+		// effective stored value in level units.
+		g := model.ProgramConductance(digit, rng)
+		return (g - model.GOff) / gSpan * maxLvl
+	}
+	eff := tensor.New(w.Shape()...)
+	// One column stores ceil(8/Bits) positive and as many negative
+	// cells per weight; the extra port carries the per-slice
+	// coefficients 2^(Bits·i) (the paper's A_k, = {1, 2⁴} for 4-bit
+	// devices).
+	for i, qv := range q {
+		mag := qv
+		sign := 1.0
+		if mag < 0 {
+			mag, sign = -mag, -1
+		}
+		slices := rram.SliceMagnitude(mag, rram.WeightBits, model.Bits)
+		v := 0.0
+		coeff := 1.0
+		for _, d := range slices {
+			// The opposite sign's cells hold zero but still exist
+			// physically; program them too so their variation is real.
+			v += coeff * (cell(d) - cell(0))
+			coeff *= float64(int(1) << model.Bits)
+		}
+		eff.Data()[i] = scale * sign * v
+	}
+	return eff, scale, nil
+}
+
+// EffectiveUnipolarMatrix programs the matrix in the Section-4.2
+// linear-transform representation for unipolar devices: each weight is
+// mapped to w* = (q − qmin)/(qmax − qmin) ∈ [0,1], stored as
+// ceil(8/Bits) positive cells (base-2^Bits digits of the 8-bit w*),
+// and the extra port
+// carries the slope k = (qmax − qmin)·scale. It returns the effective
+// matrix in original weight units before bias correction — entry
+// (j,c) ≈ w_{j,c} − qmin·scale, a positive value since qmin ≤ 0 —
+// plus the per-active-input bias w0Eff ≈ −qmin·scale that the
+// dynamic-threshold column accumulates for the subtraction of Equ. 9,
+// including that column's own device variation. For any active input
+// set S: Σ_{j∈S} eff[j][c] − Σ_{j∈S} w0Eff[j] ≈ Σ_{j∈S} w_{j,c}.
+func EffectiveUnipolarMatrix(w *tensor.Tensor, model rram.DeviceModel, rng *rand.Rand) (eff *tensor.Tensor, w0Eff []float64, err error) {
+	if err := model.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if w.Dims() != 2 {
+		return nil, nil, fmt.Errorf("seicore: weight matrix must be 2-D, got %v", w.Shape())
+	}
+	q, scale, err := rram.QuantizeSymmetric(w, rram.WeightBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	qmin, qmax := 0, 0
+	for _, v := range q {
+		if v < qmin {
+			qmin = v
+		}
+		if v > qmax {
+			qmax = v
+		}
+	}
+	span := qmax - qmin
+	if span == 0 {
+		span = 1
+	}
+	maxLvl := float64(model.MaxLevel())
+	gSpan := model.GOn - model.GOff
+	cell := func(nibble int) float64 {
+		g := model.ProgramConductance(nibble, rng)
+		return (g - model.GOff) / gSpan * maxLvl
+	}
+	full := float64(int(1)<<rram.WeightBits - 1) // 255
+	k := float64(span) * scale / full            // slope on the extra port per w*-unit
+	stored := func(value int) float64 {
+		v, coeff := 0.0, 1.0
+		for _, d := range rram.SliceMagnitude(value, rram.WeightBits, model.Bits) {
+			v += coeff * cell(d)
+			coeff *= float64(int(1) << model.Bits)
+		}
+		return v
+	}
+	eff = tensor.New(w.Shape()...)
+	for i, qv := range q {
+		wstarInt := int(float64(qv-qmin)*full/float64(span) + 0.5)
+		eff.Data()[i] = k * stored(wstarInt)
+	}
+	// The dynamic-threshold column stores w0 = −qmin/span per input row
+	// (same multi-cell precision), selected by the same inputs.
+	n := w.Dim(0)
+	w0Eff = make([]float64, n)
+	w0Int := int(float64(-qmin)*full/float64(span) + 0.5)
+	for j := 0; j < n; j++ {
+		w0Eff[j] = k * stored(w0Int)
+	}
+	return eff, w0Eff, nil
+}

@@ -1,0 +1,367 @@
+package seicore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sei/internal/rram"
+	"sei/internal/tensor"
+)
+
+// SignedMode selects how signed weights are realized in a single SEI
+// crossbar (Section 4.1 vs 4.2).
+type SignedMode int
+
+const (
+	// ModeBipolar uses positive and negative voltages on the extra
+	// port: four cells per weight with coefficients ±2⁴ and ±1.
+	ModeBipolar SignedMode = iota
+	// ModeUnipolarDynamic is for devices that cannot take negative
+	// inputs: weights are linearly mapped to positive values (two cells
+	// per weight) and an input-selected dynamic-threshold column
+	// subtracts the bias (Section 4.2, Fig. 4).
+	ModeUnipolarDynamic
+)
+
+// CellsPerWeight returns how many physical rows one logical input
+// occupies in this mode with the paper's default 4-bit device
+// (ceil(8/4) = 2 slices). For other device precisions use
+// CellsPerWeightFor.
+func (m SignedMode) CellsPerWeight() int { return m.CellsPerWeightFor(4) }
+
+// CellsPerWeightFor returns physical rows per logical input for a
+// device with the given bits per cell: ceil(8/bits) slices, doubled
+// for the bipolar positive/negative pair.
+func (m SignedMode) CellsPerWeightFor(deviceBits int) int {
+	n := rram.SliceCount(rram.WeightBits, deviceBits)
+	if m == ModeUnipolarDynamic {
+		return n
+	}
+	return 2 * n
+}
+
+func (m SignedMode) String() string {
+	if m == ModeUnipolarDynamic {
+		return "unipolar-dynamic"
+	}
+	return "bipolar"
+}
+
+// LayerOptions configures the mapping of one logical matrix onto SEI
+// crossbars.
+type LayerOptions struct {
+	Model       rram.DeviceModel
+	MaxCrossbar int // physical row/column limit (paper: 512 or 256)
+	Mode        SignedMode
+	Order       []int // logical-row permutation for splitting; nil = natural
+}
+
+// DefaultLayerOptions uses the paper's default experiment setup.
+func DefaultLayerOptions() LayerOptions {
+	return LayerOptions{
+		Model:       rram.DefaultDeviceModel(),
+		MaxCrossbar: rram.MaxCrossbarSize,
+		Mode:        ModeBipolar,
+	}
+}
+
+func (o LayerOptions) validate(n, m int) error {
+	if err := o.Model.Validate(); err != nil {
+		return err
+	}
+	if o.MaxCrossbar <= 0 || o.MaxCrossbar > rram.MaxCrossbarSize {
+		return fmt.Errorf("seicore: max crossbar size %d outside (0,%d]", o.MaxCrossbar, rram.MaxCrossbarSize)
+	}
+	// One column is reserved for the dynamic-threshold column.
+	if m+1 > o.MaxCrossbar {
+		return fmt.Errorf("seicore: %d output columns (+1 threshold) exceed crossbar width %d", m, o.MaxCrossbar)
+	}
+	if o.Order != nil {
+		if len(o.Order) != n {
+			return fmt.Errorf("seicore: order length %d, want %d", len(o.Order), n)
+		}
+		seen := make([]bool, n)
+		for _, idx := range o.Order {
+			if idx < 0 || idx >= n || seen[idx] {
+				return fmt.Errorf("seicore: order is not a permutation of 0..%d", n-1)
+			}
+			seen[idx] = true
+		}
+	}
+	return nil
+}
+
+// seiBlock is one physical crossbar holding a contiguous slice of the
+// (permuted) logical inputs.
+type seiBlock struct {
+	inputs []int          // logical input indices stored in this block
+	eff    *tensor.Tensor // [len(inputs), M] effective weights
+	w0     []float64      // per-local-row dynamic column (unipolar mode), nil otherwise
+}
+
+// sums accumulates the block's analog column outputs for one input
+// vector: the main column sums, the dynamic-threshold column sum, and
+// the number of active inputs. IR drop and read noise are applied by
+// the caller, which owns the device model.
+func (b *seiBlock) sums(in []float64, m int) (main []float64, w0sum float64, ones int) {
+	main = make([]float64, m)
+	for local, j := range b.inputs {
+		if in[j] == 0 {
+			continue
+		}
+		ones++
+		row := b.eff.Data()[local*m : (local+1)*m]
+		for c, v := range row {
+			main[c] += v
+		}
+		if b.w0 != nil {
+			w0sum += b.w0[local]
+		}
+	}
+	return main, w0sum, ones
+}
+
+// SEIConvLayer is one conv stage mapped on SEI crossbars with sense-
+// amplifier threshold readout: outputs are bits. Splitting produces K
+// blocks, each thresholding locally (BaseThr + dynamic compensation);
+// the final bit fires when at least DigitalThreshold blocks fire
+// (Section 4.3, Fig. 2d).
+type SEIConvLayer struct {
+	N, M, K int
+	Mode    SignedMode
+
+	blocks []seiBlock
+	model  rram.DeviceModel
+	noise  *rand.Rand
+
+	// Threshold is the layer's logical binarization threshold (from
+	// Algorithm 1), in weight·input units.
+	Threshold float64
+	// BaseThr is each block's static SA reference; defaults to the
+	// block's share Threshold·|block|/N.
+	BaseThr []float64
+	// Gamma is the dynamic-threshold slope: block b's reference becomes
+	// BaseThr[b] + Gamma·(ones_b − OnesMean[b]). Zero = static.
+	Gamma float64
+	// OnesMean is the calibrated mean active-input count per block.
+	OnesMean []float64
+	// DigitalThreshold is D: minimum fired blocks for an output 1.
+	DigitalThreshold int
+}
+
+// NewSEIConvLayer maps the real weight matrix w [N inputs, M kernels]
+// with binarization threshold thr onto SEI crossbars.
+func NewSEIConvLayer(w *tensor.Tensor, thr float64, opt LayerOptions, rng *rand.Rand) (*SEIConvLayer, error) {
+	n, m := w.Dim(0), w.Dim(1)
+	if err := opt.validate(n, m); err != nil {
+		return nil, err
+	}
+	var (
+		eff *tensor.Tensor
+		w0  []float64
+		err error
+	)
+	if opt.Mode == ModeUnipolarDynamic {
+		eff, w0, err = EffectiveUnipolarMatrix(w, opt.Model, rng)
+	} else {
+		eff, _, err = EffectiveSignedMatrix(w, opt.Model, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	order := opt.Order
+	if order == nil {
+		order = NaturalOrder(n)
+	}
+	k := BlocksFor(n, opt.Mode.CellsPerWeightFor(opt.Model.Bits), opt.MaxCrossbar)
+	l := &SEIConvLayer{
+		N: n, M: m, K: k, Mode: opt.Mode,
+		model:            opt.Model,
+		Threshold:        thr,
+		BaseThr:          make([]float64, k),
+		OnesMean:         make([]float64, k),
+		DigitalThreshold: (k + 2) / 2, // majority: ceil((K+1)/2)
+	}
+	if opt.Model.ReadNoiseSigma > 0 {
+		l.noise = rng
+	}
+	for _, blockInputs := range SplitOrder(order, k) {
+		b := seiBlock{
+			inputs: append([]int(nil), blockInputs...),
+			eff:    gatherRows(eff, blockInputs),
+		}
+		if w0 != nil {
+			b.w0 = make([]float64, len(blockInputs))
+			for i, j := range blockInputs {
+				b.w0[i] = w0[j]
+			}
+		}
+		l.blocks = append(l.blocks, b)
+	}
+	for bi, b := range l.blocks {
+		l.BaseThr[bi] = thr * float64(len(b.inputs)) / float64(n)
+	}
+	return l, nil
+}
+
+// gatherRows builds the sub-matrix of the given rows.
+func gatherRows(w *tensor.Tensor, rows []int) *tensor.Tensor {
+	m := w.Dim(1)
+	out := tensor.New(len(rows), m)
+	for i, r := range rows {
+		copy(out.Data()[i*m:(i+1)*m], w.Data()[r*m:(r+1)*m])
+	}
+	return out
+}
+
+// Eval computes the layer's output bits for one 0/1 input vector.
+func (l *SEIConvLayer) Eval(in []float64) []bool {
+	if len(in) != l.N {
+		panic(fmt.Sprintf("seicore: SEIConvLayer input length %d, want %d", len(in), l.N))
+	}
+	fired := make([]int, l.M)
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		main, w0sum, ones := b.sums(in, l.M)
+		l.applyAnalog(main, ones)
+		ref := l.BaseThr[bi] + l.Gamma*(float64(ones)-l.OnesMean[bi]) + w0sum
+		for c, s := range main {
+			if s > ref {
+				fired[c]++
+			}
+		}
+	}
+	out := make([]bool, l.M)
+	for c, f := range fired {
+		out[c] = f >= l.DigitalThreshold
+	}
+	return out
+}
+
+// BlockSums exposes the per-block analog sums and active counts for
+// one input — used by calibration and by tests.
+func (l *SEIConvLayer) BlockSums(in []float64) (main [][]float64, w0 []float64, ones []int) {
+	main = make([][]float64, l.K)
+	w0 = make([]float64, l.K)
+	ones = make([]int, l.K)
+	for bi := range l.blocks {
+		m, w, o := l.blocks[bi].sums(in, l.M)
+		l.applyAnalog(m, o)
+		main[bi], w0[bi], ones[bi] = m, w, o
+	}
+	return main, w0, ones
+}
+
+// applyAnalog applies the model's IR-drop factor and read noise to one
+// block's column sums. The sinh I-V nonlinearity does not appear here:
+// SEI inputs are 0 or full swing, and the full-swing gain is removed
+// by one-point calibration (rram.TransferCalibrated), so 1-bit layers
+// are exactly immune to it.
+func (l *SEIConvLayer) applyAnalog(sums []float64, ones int) {
+	if a := l.model.IRDropAlpha; a > 0 {
+		scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
+		for c := range sums {
+			sums[c] *= scale
+		}
+	}
+	if l.noise != nil {
+		for c := range sums {
+			sums[c] *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
+		}
+	}
+}
+
+// SEIFCLayer is the final fully-connected stage on SEI crossbars. Its
+// outputs feed the classifier's argmax rather than a threshold, so
+// each block's columns are read out once per picture (M·K conversions
+// — e.g. 10×3 for Network 3, a negligible interface cost accounted by
+// package arch) and summed digitally, with the bias added digitally.
+type SEIFCLayer struct {
+	N, M, K int
+	Mode    SignedMode
+
+	blocks []seiBlock
+	model  rram.DeviceModel
+	noise  *rand.Rand
+	Bias   []float64
+}
+
+// NewSEIFCLayer maps the FC matrix w [N inputs, M classes] and bias
+// onto SEI crossbars.
+func NewSEIFCLayer(w *tensor.Tensor, bias []float64, opt LayerOptions, rng *rand.Rand) (*SEIFCLayer, error) {
+	n, m := w.Dim(0), w.Dim(1)
+	if len(bias) != m {
+		return nil, fmt.Errorf("seicore: FC bias length %d, want %d", len(bias), m)
+	}
+	if err := opt.validate(n, m); err != nil {
+		return nil, err
+	}
+	var (
+		eff *tensor.Tensor
+		w0  []float64
+		err error
+	)
+	if opt.Mode == ModeUnipolarDynamic {
+		eff, w0, err = EffectiveUnipolarMatrix(w, opt.Model, rng)
+	} else {
+		eff, _, err = EffectiveSignedMatrix(w, opt.Model, rng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	order := opt.Order
+	if order == nil {
+		order = NaturalOrder(n)
+	}
+	k := BlocksFor(n, opt.Mode.CellsPerWeightFor(opt.Model.Bits), opt.MaxCrossbar)
+	l := &SEIFCLayer{
+		N: n, M: m, K: k, Mode: opt.Mode,
+		model: opt.Model,
+		Bias:  append([]float64(nil), bias...),
+	}
+	if opt.Model.ReadNoiseSigma > 0 {
+		l.noise = rng
+	}
+	for _, blockInputs := range SplitOrder(order, k) {
+		b := seiBlock{
+			inputs: append([]int(nil), blockInputs...),
+			eff:    gatherRows(eff, blockInputs),
+		}
+		if w0 != nil {
+			b.w0 = make([]float64, len(blockInputs))
+			for i, j := range blockInputs {
+				b.w0[i] = w0[j]
+			}
+		}
+		l.blocks = append(l.blocks, b)
+	}
+	return l, nil
+}
+
+// Eval computes the classifier scores for one 0/1 input vector.
+func (l *SEIFCLayer) Eval(in []float64) []float64 {
+	if len(in) != l.N {
+		panic(fmt.Sprintf("seicore: SEIFCLayer input length %d, want %d", len(in), l.N))
+	}
+	out := append([]float64(nil), l.Bias...)
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		main, w0sum, ones := b.sums(in, l.M)
+		if a := l.model.IRDropAlpha; a > 0 {
+			scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
+			for c := range main {
+				main[c] *= scale
+			}
+			w0sum *= scale
+		}
+		if l.noise != nil {
+			for c := range main {
+				main[c] *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
+			}
+		}
+		for c, s := range main {
+			out[c] += s - w0sum
+		}
+	}
+	return out
+}

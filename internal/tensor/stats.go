@@ -1,0 +1,80 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts how many elements of t fall in each half-open bin
+// [edges[i], edges[i+1]); the final bin is closed on the right so the
+// maximum value is counted. edges must be strictly increasing and have
+// at least two entries. Values outside [edges[0], edges[last]] are
+// ignored.
+func (t *Tensor) Histogram(edges []float64) []int {
+	if len(edges) < 2 {
+		panic("tensor: Histogram needs at least two bin edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("tensor: Histogram edges not strictly increasing: %v", edges))
+		}
+	}
+	counts := make([]int, len(edges)-1)
+	for _, v := range t.data {
+		if v < edges[0] || v > edges[len(edges)-1] {
+			continue
+		}
+		// sort.SearchFloat64s finds the first edge >= v.
+		i := sort.SearchFloat64s(edges, v)
+		switch {
+		case i == 0:
+			counts[0]++ // v == edges[0]
+		case v == edges[i] && i == len(edges)-1:
+			counts[i-1]++ // maximum value, closed last bin
+		case v == edges[i]:
+			counts[i]++ // on an interior edge: belongs to the right bin
+		default:
+			counts[i-1]++
+		}
+	}
+	return counts
+}
+
+// Variance returns the population variance of all elements.
+func (t *Tensor) Variance() float64 {
+	mean := t.Mean()
+	s := 0.0
+	for _, v := range t.data {
+		d := v - mean
+		s += d * d
+	}
+	return s / float64(len(t.data))
+}
+
+// Std returns the population standard deviation of all elements.
+func (t *Tensor) Std() float64 { return math.Sqrt(t.Variance()) }
+
+// FractionAbove returns the fraction of elements strictly greater
+// than x.
+func (t *Tensor) FractionAbove(x float64) float64 {
+	n := 0
+	for _, v := range t.data {
+		if v > x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.data))
+}
+
+// L2Distance returns the Euclidean distance between two equally shaped
+// tensors.
+func L2Distance(a, b *Tensor) float64 {
+	a.requireSameShape(b)
+	s := 0.0
+	for i := range a.data {
+		d := a.data[i] - b.data[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramPaperBins(t *testing.T) {
+	// The bins of Table 1 in the paper: 0–1/16, 1/16–1/8, 1/8–1/4, 1/4–1.
+	edges := []float64{0, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1}
+	x := FromSlice([]float64{0, 0.01, 0.0624, 0.07, 0.2, 0.9, 1.0}, 7)
+	got := x.Histogram(edges)
+	want := []int{3, 1, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	edges := []float64{0, 1, 2}
+	x := FromSlice([]float64{0, 1, 2}, 3)
+	got := x.Histogram(edges)
+	// 0 → first bin, 1 → second bin (interior edge belongs right),
+	// 2 → second bin (max is closed).
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Histogram edge handling = %v, want [1 2]", got)
+	}
+}
+
+func TestHistogramIgnoresOutOfRange(t *testing.T) {
+	x := FromSlice([]float64{-5, 0.5, 10}, 3)
+	got := x.Histogram([]float64{0, 1})
+	if got[0] != 1 {
+		t.Fatalf("Histogram = %v, want [1]", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	x := New(2)
+	for _, edges := range [][]float64{{1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Histogram(%v) did not panic", edges)
+				}
+			}()
+			x.Histogram(edges)
+		}()
+	}
+}
+
+// Property: histogram counts over full-covering bins sum to Len.
+func TestHistogramConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		x := New(n)
+		for i := range x.Data() {
+			x.Data()[i] = r.Float64() // in [0,1)
+		}
+		counts := x.Histogram([]float64{0, 0.25, 0.5, 0.75, 1})
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	x := FromSlice([]float64{2, 4, 4, 4, 5, 5, 7, 9}, 8)
+	if math.Abs(x.Variance()-4) > 1e-12 {
+		t.Fatalf("Variance = %v, want 4", x.Variance())
+	}
+	if math.Abs(x.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", x.Std())
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	x := FromSlice([]float64{0, 0.5, 1, 2}, 4)
+	if got := x.FractionAbove(0.5); got != 0.5 {
+		t.Fatalf("FractionAbove(0.5) = %v, want 0.5", got)
+	}
+}
+
+func TestL2Distance(t *testing.T) {
+	a := FromSlice([]float64{0, 0}, 2)
+	b := FromSlice([]float64{3, 4}, 2)
+	if d := L2Distance(a, b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("L2Distance = %v, want 5", d)
+	}
+}
+
+// Property: L2 distance satisfies the triangle inequality.
+func TestL2TriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		a, b, c := New(n), New(n), New(n)
+		for i := 0; i < n; i++ {
+			a.Data()[i] = r.NormFloat64()
+			b.Data()[i] = r.NormFloat64()
+			c.Data()[i] = r.NormFloat64()
+		}
+		return L2Distance(a, c) <= L2Distance(a, b)+L2Distance(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package tensor provides a small dense float64 tensor library used by
+// every other package in this repository: the CNN framework, the
+// quantizer, and the RRAM crossbar simulator.
+//
+// The package is deliberately minimal — row-major dense storage, a
+// handful of linear-algebra kernels (matrix-vector, matrix-matrix,
+// im2col) and the statistics helpers needed for the paper's
+// data-distribution analysis (Table 1). It has no external
+// dependencies.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float64 tensor. The zero value is an
+// empty tensor; use New or FromSlice to create a usable one.
+type Tensor struct {
+	shape  []int
+	stride []int
+	data   []float64
+}
+
+// New returns a zero-filled tensor with the given shape. Every
+// dimension must be positive.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	t := &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: strides(shape),
+		data:   make([]float64, n),
+	}
+	return t
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is
+// used directly (not copied); len(data) must equal the shape's element
+// count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: strides(shape),
+		data:   data,
+	}
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func strides(shape []int) []int {
+	s := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= shape[i]
+	}
+	return s
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// offset converts a multi-index into a flat offset, panicking on
+// rank or bounds mismatch.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off += x * t.stride[i]
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape. The
+// element counts must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{
+		shape:  append([]int(nil), shape...),
+		stride: strides(shape),
+		data:   t.data,
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Scale multiplies every element by a in place.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AddInPlace adds o element-wise into t. Shapes must match exactly.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	t.requireSameShape(o)
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+}
+
+// SubInPlace subtracts o element-wise from t.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	t.requireSameShape(o)
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+}
+
+// AXPY adds a*o into t (t += a*o).
+func (t *Tensor) AXPY(a float64, o *Tensor) {
+	t.requireSameShape(o)
+	for i, v := range o.data {
+		t.data[i] += a * v
+	}
+}
+
+func (t *Tensor) requireSameShape(o *Tensor) {
+	if !SameShape(t, o) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, o.shape))
+	}
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether a and b have the same shape and all
+// elements within tol of each other.
+func EqualApprox(a, b *Tensor, tol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the maximum element. It panics on an empty tensor
+// (which cannot be constructed through the public API).
+func (t *Tensor) Max() float64 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func (t *Tensor) Min() float64 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+
+// ArgMax returns the flat index of the largest element (first on tie).
+func (t *Tensor) ArgMax() int {
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// String implements fmt.Stringer with a compact shape+stats summary,
+// suitable for debugging without dumping large buffers.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v[min=%.4g max=%.4g mean=%.4g]", t.shape, t.Min(), t.Max(), t.Mean())
+}

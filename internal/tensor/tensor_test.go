@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Dims() != 3 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad shape: %v", x.Shape())
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	cases := [][]int{{}, {0}, {-1, 3}, {2, 0, 4}}
+	for _, shape := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestFromSliceLengthCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4, 5)
+	want := map[[3]int]float64{}
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 30; n++ {
+		i, j, k := rng.Intn(3), rng.Intn(4), rng.Intn(5)
+		v := rng.NormFloat64()
+		x.Set(v, i, j, k)
+		want[[3]int{i, j, k}] = v
+	}
+	for idx, v := range want {
+		if got := x.At(idx[0], idx[1], idx[2]); got != v {
+			t.Fatalf("At(%v) = %v, want %v", idx, got, v)
+		}
+	}
+}
+
+func TestAtRowMajorLayout(t *testing.T) {
+	x := FromSlice([]float64{0, 1, 2, 3, 4, 5}, 2, 3)
+	if x.At(0, 2) != 2 || x.At(1, 0) != 3 || x.At(1, 2) != 5 {
+		t.Fatalf("row-major layout violated: %v", x.Data())
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	x := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}, {0, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) did not panic", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(99, 0, 1)
+	if x.At(0, 1) != 99 {
+		t.Fatal("Reshape did not share underlying data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape to mismatched size did not panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Clone()
+	y.Set(42, 0, 0)
+	if x.At(0, 0) != 1 {
+		t.Fatal("Clone shares data with original")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	a.AddInPlace(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("AddInPlace: got %v", a.Data())
+	}
+	a.SubInPlace(b)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("SubInPlace: got %v", a.Data())
+	}
+	a.Scale(2)
+	if a.At(0, 1) != 4 {
+		t.Fatalf("Scale: got %v", a.Data())
+	}
+	a.AXPY(0.5, b)
+	if a.At(0, 0) != 2+5 {
+		t.Fatalf("AXPY: got %v", a.Data())
+	}
+}
+
+func TestAddInPlaceShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	New(2, 2).AddInPlace(New(4))
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{-1, 5, 2, 0}, 4)
+	if x.Max() != 5 || x.Min() != -1 || x.Sum() != 6 || x.Mean() != 1.5 {
+		t.Fatalf("reductions wrong: max=%v min=%v sum=%v mean=%v", x.Max(), x.Min(), x.Sum(), x.Mean())
+	}
+	if x.ArgMax() != 1 {
+		t.Fatalf("ArgMax = %d, want 1", x.ArgMax())
+	}
+}
+
+func TestArgMaxFirstOnTie(t *testing.T) {
+	x := FromSlice([]float64{3, 7, 7, 1}, 4)
+	if x.ArgMax() != 1 {
+		t.Fatalf("ArgMax tie = %d, want 1", x.ArgMax())
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+	}, 2, 3)
+	y := MatVec(a, []float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MatVec = %v, want [-2 -2]", y)
+	}
+}
+
+func TestMatVecT(t *testing.T) {
+	a := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+	}, 2, 3)
+	y := MatVecT(a, []float64{1, -1})
+	want := []float64{-3, -3, -3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MatVecT = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMatVecTMatchesExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := New(5, 9)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := MatVecT(a, x)
+	want := MatVec(Transpose2D(a), x)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MatVecT mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data()[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul dimension mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// Property: (A·B)·x == A·(B·x) for random matrices — checks MatMul and
+// MatVec against each other.
+func TestMatMulMatVecAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed) + rng.Int63n(1000)))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b := New(m, k), New(k, n)
+		for i := range a.Data() {
+			a.Data()[i] = r.NormFloat64()
+		}
+		for i := range b.Data() {
+			b.Data()[i] = r.NormFloat64()
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		left := MatVec(MatMul(a, b), x)
+		right := MatVec(a, MatVec(b, x))
+		for i := range left {
+			if math.Abs(left[i]-right[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose2D(a)
+	if at.Dim(0) != 3 || at.Dim(1) != 2 {
+		t.Fatalf("transpose shape %v", at.Shape())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", at.Data())
+	}
+}
+
+// Property: transpose is an involution.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := 1+r.Intn(8), 1+r.Intn(8)
+		a := New(m, n)
+		for i := range a.Data() {
+			a.Data()[i] = r.NormFloat64()
+		}
+		return EqualApprox(Transpose2D(Transpose2D(a)), a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1.0005, 2}, 2)
+	if !EqualApprox(a, b, 1e-3) {
+		t.Fatal("EqualApprox false for close tensors")
+	}
+	if EqualApprox(a, b, 1e-6) {
+		t.Fatal("EqualApprox true beyond tolerance")
+	}
+	if EqualApprox(a, New(3), 1) {
+		t.Fatal("EqualApprox true for different shapes")
+	}
+}

@@ -1,0 +1,288 @@
+// Package sei is a simulator and design-space explorer for
+// "Switched by Input: Power Efficient Structure for RRAM-based
+// Convolutional Neural Network" (Xia et al., DAC 2016).
+//
+// It reproduces the paper end to end: a from-scratch CNN framework
+// trains the Table-2 MNIST networks; Algorithm 1 quantizes every
+// intermediate activation to one bit (eliminating DACs); the SEI
+// structure maps signed 8-bit weights onto single 4-bit RRAM crossbars
+// whose transmission gates are selected by the 1-bit inputs
+// (eliminating merging ADCs); large matrices split across crossbars
+// with matrix homogenization and dynamic-threshold compensation; and a
+// component-level power/area model regenerates Fig. 1 and Tables 1–5.
+//
+// This package is the public facade. The high-level entry point is
+// RunPipeline, which takes a dataset through training, quantization,
+// hardware mapping and evaluation:
+//
+//	res, err := sei.RunPipeline(sei.DefaultPipelineConfig())
+//	fmt.Printf("SEI error %.2f%%, energy saving %.1f%%\n",
+//		100*res.SEIError, 100*res.EnergySaving)
+//
+// Individual stages are exposed for finer control (TrainTableNetwork,
+// Quantize, BuildDesign, MapCosts), and the experiments API
+// regenerates every table and figure of the paper (see
+// RunAllExperiments and cmd/seisim).
+package sei
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sei/internal/arch"
+	"sei/internal/experiments"
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/power"
+	"sei/internal/quant"
+	"sei/internal/rram"
+	"sei/internal/seicore"
+)
+
+// Re-exported core types. They originate in internal packages; every
+// capability a downstream user needs is reachable through this facade.
+type (
+	// Dataset is a labelled set of 28×28 images.
+	Dataset = mnist.Dataset
+	// Network is a trainable float CNN.
+	Network = nn.Network
+	// QuantizedNet is a CNN with 1-bit intermediate data (Section 3).
+	QuantizedNet = quant.QuantizedNet
+	// SEIDesign is a quantized network mapped onto SEI hardware
+	// (Section 4).
+	SEIDesign = seicore.SEIDesign
+	// DeviceModel is the behavioural RRAM device.
+	DeviceModel = rram.DeviceModel
+	// Structure selects among DAC+ADC, 1-bit-input+ADC and SEI.
+	Structure = seicore.Structure
+	// PowerLibrary holds component energy/area constants.
+	PowerLibrary = power.Library
+	// ExperimentConfig sizes the table/figure reproductions.
+	ExperimentConfig = experiments.Config
+)
+
+// The three hardware structures of Table 5.
+const (
+	StructDACADC    = seicore.StructDACADC
+	StructOneBitADC = seicore.StructOneBitADC
+	StructSEI       = seicore.StructSEI
+)
+
+// SyntheticDataset generates n deterministic synthetic MNIST-style
+// samples (see internal/mnist for the substitution rationale).
+func SyntheticDataset(n int, seed int64) *Dataset { return mnist.Synthetic(n, seed) }
+
+// SyntheticSplit returns disjoint train/test synthetic datasets.
+func SyntheticSplit(nTrain, nTest int, seed int64) (train, test *Dataset) {
+	return mnist.SyntheticSplit(nTrain, nTest, seed)
+}
+
+// LoadMNIST loads the real MNIST IDX files from dir.
+func LoadMNIST(dir string) (train, test *Dataset, err error) {
+	return mnist.LoadIDXDir(dir)
+}
+
+// TrainTableNetwork trains Table-2 network id (1, 2 or 3) on the
+// dataset for the given epochs with deterministic seeding.
+func TrainTableNetwork(id int, train *Dataset, epochs int, seed int64) *Network {
+	net := nn.NewTableNetwork(id, seed)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	nn.Train(net, train, cfg)
+	return net
+}
+
+// EvaluateNetwork returns the float network's test error rate.
+func EvaluateNetwork(net *Network, test *Dataset) float64 { return nn.ErrorRate(net, test) }
+
+// Quantize runs Algorithm 1 (weight re-scaling plus greedy threshold
+// search) on a trained network, then the FC-recalibration and
+// threshold-refinement calibration passes.
+func Quantize(net *Network, train *Dataset) (*QuantizedNet, error) {
+	cfg := quant.DefaultSearchConfig()
+	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := quant.RecalibrateFC(q, train, quant.DefaultRecalibrateConfig()); err != nil {
+		return nil, err
+	}
+	if _, err := quant.RefineThresholds(q, train, quant.DefaultRefineConfig()); err != nil {
+		return nil, err
+	}
+	if err := quant.RecalibrateFC(q, train, quant.DefaultRecalibrateConfig()); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// EvaluateQuantized returns the digital binarized network's test error
+// rate.
+func EvaluateQuantized(q *QuantizedNet, test *Dataset) float64 { return q.ErrorRate(test) }
+
+// BuildSEIDesign maps the quantized network onto SEI crossbars with
+// the default device (4-bit, mild variation), 512×512 crossbars,
+// homogenized split orders and calibrated dynamic thresholds.
+func BuildSEIDesign(q *QuantizedNet, train *Dataset, seed int64) (*SEIDesign, error) {
+	cfg := seicore.DefaultSEIBuildConfig()
+	orders := experiments.HomogenizedOrdersFor(q, cfg.Layer.MaxCrossbar, seed)
+	cfg.Orders = orders
+	return seicore.BuildSEI(q, train, cfg, rand.New(rand.NewSource(seed)))
+}
+
+// Classifier is anything that maps an image to a class — float
+// networks, quantized networks, and hardware designs all implement it.
+type Classifier = nn.Classifier
+
+// EvaluateDesign returns any classifier's test error rate.
+func EvaluateDesign(d Classifier, test *Dataset) float64 {
+	return nn.ClassifierErrorRate(d, test)
+}
+
+// PipelineConfig sizes RunPipeline.
+type PipelineConfig struct {
+	NetworkID    int
+	TrainSamples int
+	TestSamples  int
+	Epochs       int
+	Seed         int64
+	MaxCrossbar  int
+	Log          io.Writer
+}
+
+// DefaultPipelineConfig runs Network 2 at a laptop-friendly size.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		NetworkID:    2,
+		TrainSamples: 2000,
+		TestSamples:  400,
+		Epochs:       4,
+		Seed:         1,
+		MaxCrossbar:  rram.MaxCrossbarSize,
+	}
+}
+
+// PipelineResult summarizes one end-to-end run.
+type PipelineResult struct {
+	FloatError   float64
+	QuantError   float64
+	SEIError     float64
+	EnergyUJ     float64 // SEI design, per picture
+	BaseEnergyUJ float64 // DAC+ADC design, per picture
+	EnergySaving float64
+	AreaMM2      float64
+	BaseAreaMM2  float64
+	AreaSaving   float64
+	GOPsPerJ     float64
+}
+
+// RunPipeline executes the full paper pipeline: train → quantize →
+// map to SEI → evaluate accuracy and energy/area against the DAC+ADC
+// baseline.
+func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
+	if cfg.NetworkID < 1 || cfg.NetworkID > 3 {
+		return nil, fmt.Errorf("sei: network id %d outside [1,3]", cfg.NetworkID)
+	}
+	train, test := SyntheticSplit(cfg.TrainSamples, cfg.TestSamples, cfg.Seed)
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format, args...)
+		}
+	}
+	logf("sei: training network %d on %d samples\n", cfg.NetworkID, train.Len())
+	net := TrainTableNetwork(cfg.NetworkID, train, cfg.Epochs, cfg.Seed)
+	res := &PipelineResult{FloatError: EvaluateNetwork(net, test)}
+	logf("sei: float error %.4f; quantizing\n", res.FloatError)
+
+	q, err := Quantize(net, train)
+	if err != nil {
+		return nil, err
+	}
+	res.QuantError = EvaluateQuantized(q, test)
+	logf("sei: quantized error %.4f; mapping to SEI\n", res.QuantError)
+
+	bcfg := seicore.DefaultSEIBuildConfig()
+	bcfg.Layer.MaxCrossbar = cfg.MaxCrossbar
+	bcfg.Orders = experiments.HomogenizedOrdersFor(q, cfg.MaxCrossbar, cfg.Seed)
+	design, err := seicore.BuildSEI(q, train, bcfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	res.SEIError = nn.ClassifierErrorRate(design, test)
+	logf("sei: SEI hardware error %.4f; computing energy/area\n", res.SEIError)
+
+	geoms, err := arch.GeometryOf(q)
+	if err != nil {
+		return nil, err
+	}
+	lib := power.DefaultLibrary()
+	baseCfg := arch.DefaultConfig(StructDACADC)
+	baseCfg.MaxCrossbar = cfg.MaxCrossbar
+	baseMap, err := arch.Map(geoms, baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	seiCfg := arch.DefaultConfig(StructSEI)
+	seiCfg.MaxCrossbar = cfg.MaxCrossbar
+	seiMap, err := arch.Map(geoms, seiCfg)
+	if err != nil {
+		return nil, err
+	}
+	_, eBase := baseMap.Energy(lib)
+	_, eSEI := seiMap.Energy(lib)
+	_, aBase := baseMap.Area(lib)
+	_, aSEI := seiMap.Area(lib)
+	res.BaseEnergyUJ = power.MicroJoules(eBase)
+	res.EnergyUJ = power.MicroJoules(eSEI)
+	res.EnergySaving = 1 - eSEI.Total()/eBase.Total()
+	res.BaseAreaMM2 = power.SquareMM(aBase)
+	res.AreaMM2 = power.SquareMM(aSEI)
+	res.AreaSaving = 1 - aSEI.Total()/aBase.Total()
+	res.GOPsPerJ = seiMap.Efficiency(lib)
+	return res, nil
+}
+
+// RunAllExperiments regenerates every table and figure of the paper,
+// printing each in the paper's layout. It is the programmatic form of
+// `seisim all`.
+func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
+	c := experiments.NewContext(cfg)
+	fig1, err := experiments.Figure1(c, 1)
+	if err != nil {
+		return err
+	}
+	fig1.Print(w)
+	fmt.Fprintln(w)
+	experiments.Table1(c, 1, 2, 3).Print(w)
+	fmt.Fprintln(w)
+	experiments.PrintTable2(w, experiments.Table2(c))
+	fmt.Fprintln(w)
+	experiments.PrintTable3(w, experiments.Table3(c, 1, 2, 3))
+	fmt.Fprintln(w)
+	experiments.Table4(c, 1, []int{512, 256}).Print(w)
+	fmt.Fprintln(w)
+	t5, err := experiments.Table5(c, experiments.PaperTable5Points())
+	if err != nil {
+		return err
+	}
+	t5.Print(w)
+	fmt.Fprintln(w)
+	experiments.PrintHomogStudy(w, 1, experiments.HomogenizationStudy(c, 1, 512))
+	fmt.Fprintln(w)
+	experiments.PrintEfficiency(w, experiments.EfficiencyComparison(c, 1, 2, 3))
+	fmt.Fprintln(w)
+	timing, err := experiments.TimingStudy(c, 1, 8)
+	if err != nil {
+		return err
+	}
+	experiments.PrintTiming(w, 1, timing)
+	fmt.Fprintln(w)
+	vgg, err := experiments.VGGAnalysis()
+	if err != nil {
+		return err
+	}
+	experiments.PrintVGG(w, vgg)
+	return nil
+}
