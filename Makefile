@@ -1,0 +1,30 @@
+# Standard entry points; CI runs `make test race`.
+
+GO ?= go
+
+.PHONY: build test race bench bench-scaling vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package, including the shared-design
+# concurrency stress test in internal/seicore.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Parallel-scaling row: the same deterministic workload at 1, 2 and 4
+# workers (Workers=0 tracks GOMAXPROCS, which -cpu sets).
+bench-scaling:
+	$(GO) test -bench='Parallel|Table5' -cpu 1,2,4 -run='^$$' .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .

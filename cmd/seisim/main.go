@@ -39,24 +39,26 @@ import (
 	"sei/internal/arch"
 	"sei/internal/experiments"
 	"sei/internal/hdl"
+	"sei/internal/par"
 	"sei/internal/power"
 	"sei/internal/seicore"
 )
 
 func main() {
 	var (
-		train  = flag.Int("train", 3000, "training samples")
-		test   = flag.Int("test", 600, "test samples")
-		epochs = flag.Int("epochs", 4, "training epochs")
-		seed   = flag.Int64("seed", 1, "global random seed")
-		search = flag.Int("search", 400, "Algorithm-1 threshold-search samples")
-		orders = flag.Int("orders", 20, "random orders sampled in table4 (paper: 500)")
-		calib  = flag.Int("calib", 50, "dynamic-threshold calibration images")
-		cache  = flag.String("cache", "", "model cache directory (empty = no cache)")
-		quick  = flag.Bool("quick", false, "use the small smoke-test sizing")
-		net    = flag.Int("net", 1, "network id for fig1/table4/homog (1-3)")
-		sizes  = flag.String("sizes", "512,256", "comma-separated crossbar sizes for table4")
-		quiet  = flag.Bool("quiet", false, "suppress progress logging")
+		train   = flag.Int("train", 3000, "training samples")
+		test    = flag.Int("test", 600, "test samples")
+		epochs  = flag.Int("epochs", 4, "training epochs")
+		seed    = flag.Int64("seed", 1, "global random seed")
+		search  = flag.Int("search", 400, "Algorithm-1 threshold-search samples")
+		orders  = flag.Int("orders", 20, "random orders sampled in table4 (paper: 500)")
+		calib   = flag.Int("calib", 50, "dynamic-threshold calibration images")
+		cache   = flag.String("cache", "", "model cache directory (empty = no cache)")
+		quick   = flag.Bool("quick", false, "use the small smoke-test sizing")
+		net     = flag.Int("net", 1, "network id for fig1/table4/homog (1-3)")
+		sizes   = flag.String("sizes", "512,256", "comma-separated crossbar sizes for table4")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+		workers = flag.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = serial); results are identical for any value")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: seisim [flags] <fig1|table1..5|homog|efficiency|timing|map|vgg|verilog|pipeline|all>\n\n")
@@ -65,6 +67,10 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if err := par.Validate(*workers); err != nil {
+		fmt.Fprintf(os.Stderr, "seisim: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -77,10 +83,12 @@ func main() {
 		RandomOrders:  *orders,
 		CalibImages:   *calib,
 		CacheDir:      *cache,
+		Workers:       *workers,
 	}
 	if *quick {
 		cfg = experiments.QuickConfig()
 		cfg.CacheDir = *cache
+		cfg.Workers = *workers
 	}
 	if !*quiet {
 		cfg.Log = os.Stderr
@@ -122,6 +130,7 @@ func run(what string, cfg experiments.Config, netID int, sizes []int) error {
 		pcfg.Epochs = cfg.Epochs
 		pcfg.Seed = cfg.Seed
 		pcfg.Log = cfg.Log
+		pcfg.Workers = cfg.Workers
 		res, err := sei.RunPipeline(pcfg)
 		if err != nil {
 			return err

@@ -26,6 +26,7 @@ import (
 	"sei/internal/arch"
 	"sei/internal/experiments"
 	"sei/internal/nn"
+	"sei/internal/par"
 	"sei/internal/power"
 	"sei/internal/rram"
 	"sei/internal/seicore"
@@ -42,8 +43,12 @@ func main() {
 		bits     = flag.String("bits", "4", "device bits to sweep")
 		sigmas   = flag.String("sigmas", "0.02", "programming sigmas to sweep")
 		accuracy = flag.Bool("accuracy", false, "also simulate classification error (slower)")
+		workers  = flag.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = serial); results are identical for any value")
 	)
 	flag.Parse()
+	if err := par.Validate(*workers); err != nil {
+		fail(err)
+	}
 
 	trainSet, testSet := sei.SyntheticSplit(*train, *test, *seed)
 	fmt.Fprintf(os.Stderr, "seisweep: training network %d on %d samples\n", *netID, trainSet.Len())
@@ -66,42 +71,93 @@ func main() {
 	}
 	must(w.Write(header))
 
+	// Enumerate the sweep grid up front so the expensive accuracy
+	// simulations can fan out over independent points while the CSV
+	// rows still stream in grid order.
+	type sweepPoint struct {
+		size, bits int
+		sigma      float64
+		s          seicore.Structure
+	}
+	var pts []sweepPoint
 	for _, size := range parseInts(*sizes) {
 		for _, b := range parseInts(*bits) {
 			for _, sigma := range parseFloats(*sigmas) {
 				for _, s := range []seicore.Structure{seicore.StructDACADC, seicore.StructOneBitADC, seicore.StructSEI} {
-					cfg := arch.DefaultConfig(s)
-					cfg.MaxCrossbar = size
-					m, err := arch.Map(geoms, cfg)
-					if err != nil {
-						fmt.Fprintf(os.Stderr, "seisweep: skipping %v@%d: %v\n", s, size, err)
-						continue
-					}
-					_, e := m.Energy(lib)
-					_, a := m.Area(lib)
-					tm, err := m.Timing(arch.DefaultTimingConfig())
-					if err != nil {
-						fail(err)
-					}
-					row := []string{
-						strconv.Itoa(*netID), s.String(), strconv.Itoa(size),
-						strconv.Itoa(b), fmt.Sprintf("%g", sigma),
-						fmt.Sprintf("%.4f", power.MicroJoules(e)),
-						fmt.Sprintf("%.5f", power.SquareMM(a)),
-						fmt.Sprintf("%.1f", m.Efficiency(lib)),
-						fmt.Sprintf("%.2f", tm.LatencyNS/1000),
-						fmt.Sprintf("%.1f", tm.ThroughputPicsPerSec/1000),
-					}
-					if *accuracy {
-						errRate, err := simulateError(net, q, trainSet, testSet, s, size, b, sigma, *seed)
-						if err != nil {
-							fail(err)
-						}
-						row = append(row, fmt.Sprintf("%.2f", 100*errRate))
-					}
-					must(w.Write(row))
+					pts = append(pts, sweepPoint{size, b, sigma, s})
 				}
 			}
+		}
+	}
+
+	// Serial pass: the cheap mapper/timing columns (Map failures skip
+	// the row, matching the serial sweep's stderr order).
+	rows := make([][]string, len(pts))
+	for i, pt := range pts {
+		cfg := arch.DefaultConfig(pt.s)
+		cfg.MaxCrossbar = pt.size
+		m, err := arch.Map(geoms, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seisweep: skipping %v@%d: %v\n", pt.s, pt.size, err)
+			continue
+		}
+		_, e := m.Energy(lib)
+		_, a := m.Area(lib)
+		tm, err := m.Timing(arch.DefaultTimingConfig())
+		if err != nil {
+			fail(err)
+		}
+		rows[i] = []string{
+			strconv.Itoa(*netID), pt.s.String(), strconv.Itoa(pt.size),
+			strconv.Itoa(pt.bits), fmt.Sprintf("%g", pt.sigma),
+			fmt.Sprintf("%.4f", power.MicroJoules(e)),
+			fmt.Sprintf("%.5f", power.SquareMM(a)),
+			fmt.Sprintf("%.1f", m.Efficiency(lib)),
+			fmt.Sprintf("%.2f", tm.LatencyNS/1000),
+			fmt.Sprintf("%.1f", tm.ThroughputPicsPerSec/1000),
+		}
+	}
+
+	// Parallel pass: the functional hardware simulations. Each point is
+	// an independent design with its own seeded RNG, so fanning out and
+	// filling indexed slots reproduces the serial column exactly.
+	if *accuracy {
+		live := 0
+		for _, row := range rows {
+			if row != nil {
+				live++
+			}
+		}
+		inner := 1
+		if live > 0 {
+			if inner = par.Resolve(*workers) / live; inner < 1 {
+				inner = 1
+			}
+		}
+		simErrs := make([]error, len(pts))
+		par.ForEachChunk(*workers, len(pts), 1, func(ch par.Chunk) {
+			i := ch.Lo
+			if rows[i] == nil {
+				return
+			}
+			pt := pts[i]
+			errRate, err := simulateError(net, q, trainSet, testSet, pt.s, pt.size, pt.bits, pt.sigma, *seed, inner)
+			if err != nil {
+				simErrs[i] = err
+				return
+			}
+			rows[i] = append(rows[i], fmt.Sprintf("%.2f", 100*errRate))
+		})
+		for _, err := range simErrs {
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	for _, row := range rows {
+		if row != nil {
+			must(w.Write(row))
 		}
 	}
 	w.Flush()
@@ -111,9 +167,10 @@ func main() {
 }
 
 // simulateError runs the functional hardware simulation for one design
-// point.
+// point. workers bounds the evaluation's inner parallelism; the sweep
+// fans out over points and hands each a share of the budget.
 func simulateError(net *sei.Network, q *sei.QuantizedNet, trainSet, testSet *sei.Dataset,
-	s seicore.Structure, size, bits int, sigma float64, seed int64) (float64, error) {
+	s seicore.Structure, size, bits int, sigma float64, seed int64, workers int) (float64, error) {
 	model := rram.IdealDeviceModel(bits)
 	model.ProgramSigma = sigma
 	rng := rand.New(rand.NewSource(seed))
@@ -123,23 +180,24 @@ func simulateError(net *sei.Network, q *sei.QuantizedNet, trainSet, testSet *sei
 		if err != nil {
 			return 0, err
 		}
-		return nn.ClassifierErrorRate(d, testSet), nil
+		return nn.ClassifierErrorRateWorkers(d, testSet, workers), nil
 	case seicore.StructOneBitADC:
 		d, err := seicore.BuildOneBitADC(q, model, rng)
 		if err != nil {
 			return 0, err
 		}
-		return nn.ClassifierErrorRate(d, testSet), nil
+		return nn.ClassifierErrorRateWorkers(d, testSet, workers), nil
 	case seicore.StructSEI:
 		cfg := seicore.DefaultSEIBuildConfig()
 		cfg.Layer.Model = model
 		cfg.Layer.MaxCrossbar = size
 		cfg.Orders = experiments.HomogenizedOrdersFor(q, size, seed)
+		cfg.Workers = workers
 		d, err := seicore.BuildSEI(q, trainSet, cfg, rng)
 		if err != nil {
 			return 0, err
 		}
-		return nn.ClassifierErrorRate(d, testSet), nil
+		return nn.ClassifierErrorRateWorkers(d, testSet, workers), nil
 	}
 	return 0, fmt.Errorf("unknown structure %v", s)
 }

@@ -1,0 +1,80 @@
+package sei
+
+// End-to-end determinism contract of the parallel evaluation engine:
+// every stage of the pipeline — float evaluation, Algorithm-1 threshold
+// search, SEI build+evaluation — produces bit-identical results at any
+// worker count. Workers=1 is the exact serial path, so the table pins
+// the parallel engine to the pre-engine serial numbers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/quant"
+	"sei/internal/seicore"
+)
+
+func TestPipelineWorkerCountInvariant(t *testing.T) {
+	train, test := mnist.SyntheticSplit(300, 120, 7)
+	net := nn.NewTableNetwork(1, 7)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Seed = 7
+	nn.Train(net, train, tcfg)
+
+	type result struct {
+		floatErr   float64
+		thresholds []float64
+		quantErr   float64
+		seiErr     float64
+	}
+	run := func(workers int) result {
+		var res result
+		res.floatErr = nn.ErrorRateWorkers(net, test, workers)
+
+		scfg := quant.DefaultSearchConfig()
+		scfg.Samples = 120
+		scfg.Workers = workers
+		q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, scfg)
+		if err != nil {
+			t.Fatalf("workers=%d: quantize: %v", workers, err)
+		}
+		res.thresholds = q.Thresholds
+		res.quantErr = q.ErrorRateWorkers(test, workers)
+
+		bcfg := seicore.DefaultSEIBuildConfig()
+		bcfg.Layer.MaxCrossbar = 128 // force a split so calibration runs
+		bcfg.CalibImages = 20
+		bcfg.Workers = workers
+		d, err := seicore.BuildSEI(q, train, bcfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("workers=%d: build SEI: %v", workers, err)
+		}
+		res.seiErr = nn.ClassifierErrorRateWorkers(d, test, workers)
+		return res
+	}
+
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if got.floatErr != serial.floatErr {
+			t.Errorf("workers=%d: float error %v != serial %v", workers, got.floatErr, serial.floatErr)
+		}
+		if len(got.thresholds) != len(serial.thresholds) {
+			t.Fatalf("workers=%d: %d thresholds != serial %d", workers, len(got.thresholds), len(serial.thresholds))
+		}
+		for i := range got.thresholds {
+			if got.thresholds[i] != serial.thresholds[i] {
+				t.Errorf("workers=%d: threshold[%d] %v != serial %v", workers, i, got.thresholds[i], serial.thresholds[i])
+			}
+		}
+		if got.quantErr != serial.quantErr {
+			t.Errorf("workers=%d: quantized error %v != serial %v", workers, got.quantErr, serial.quantErr)
+		}
+		if got.seiErr != serial.seiErr {
+			t.Errorf("workers=%d: SEI error %v != serial %v", workers, got.seiErr, serial.seiErr)
+		}
+	}
+}

@@ -14,8 +14,11 @@ import (
 	"os"
 	"path/filepath"
 
+	"sync"
+
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/par"
 	"sei/internal/quant"
 )
 
@@ -39,6 +42,10 @@ type Config struct {
 	CacheDir string
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+	// Workers bounds the parallel engine across every harness
+	// (0 = all cores, 1 = the serial path). All results are
+	// bit-identical for every worker count; only wall-clock changes.
+	Workers int
 }
 
 // DefaultConfig returns the standard experiment sizing.
@@ -68,12 +75,16 @@ func QuickConfig() Config {
 }
 
 // Context owns the shared expensive artifacts — datasets, trained
-// networks, quantized networks — reused across harnesses. It is not
-// safe for concurrent use.
+// networks, quantized networks — reused across harnesses. The lazy
+// caches are not safe for concurrent use: harnesses that fan out must
+// populate them serially first (prefetch), then treat the context as
+// read-only inside the parallel region. logf is safe everywhere.
 type Context struct {
 	Cfg   Config
 	Train *mnist.Dataset
 	Test  *mnist.Dataset
+
+	logMu sync.Mutex
 
 	nets        map[int]*nn.Network
 	quants      map[int]*quant.QuantizedNet
@@ -84,8 +95,13 @@ type Context struct {
 }
 
 // NewContext builds the datasets (real MNIST from $MNIST_DIR if
-// present, synthetic otherwise) and an empty model cache.
+// present, synthetic otherwise) and an empty model cache. It panics
+// when cfg.Workers is negative; front ends validate with par.Validate
+// first to report a friendly error.
 func NewContext(cfg Config) *Context {
+	if err := par.Validate(cfg.Workers); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	var train, test *mnist.Dataset
 	if dir := os.Getenv("MNIST_DIR"); dir != "" {
 		if tr, te, err := mnist.LoadIDXDir(dir); err == nil {
@@ -113,7 +129,9 @@ func NewContext(cfg Config) *Context {
 
 func (c *Context) logf(format string, args ...any) {
 	if c.Cfg.Log != nil {
+		c.logMu.Lock()
 		fmt.Fprintf(c.Cfg.Log, format, args...)
+		c.logMu.Unlock()
 	}
 }
 
@@ -146,6 +164,7 @@ func (c *Context) Network(id int) *nn.Network {
 	tcfg.Epochs = c.Cfg.Epochs
 	tcfg.Seed = c.Cfg.Seed
 	tcfg.Log = c.Cfg.Log
+	tcfg.Workers = c.Cfg.Workers
 	c.logf("experiments: training %s on %d samples, %d epochs\n", net.Name, c.Train.Len(), tcfg.Epochs)
 	nn.Train(net, c.Train, tcfg)
 	if path := c.cachePath("net", id); path != "" {
@@ -174,6 +193,7 @@ func (c *Context) Quantized(id int) *quant.QuantizedNet {
 	net := c.Network(id)
 	scfg := quant.DefaultSearchConfig()
 	scfg.Samples = c.Cfg.SearchSamples
+	scfg.Workers = c.Cfg.Workers
 	c.logf("experiments: quantizing %s (Algorithm 1)\n", net.Name)
 	q, report, err := quant.QuantizeNetwork(net, c.Train, []int{1, 28, 28}, scfg)
 	if err != nil {
@@ -207,15 +227,18 @@ func (c *Context) QuantizedCalibrated(id int) *quant.QuantizedNet {
 	// Re-run extraction so the plain quantized model is not mutated.
 	base := c.Quantized(id)
 	clone := cloneQuantized(base)
-	if err := quant.RecalibrateFC(clone, c.Train, quant.DefaultRecalibrateConfig()); err != nil {
+	ccfg := quant.DefaultRecalibrateConfig()
+	ccfg.Workers = c.Cfg.Workers
+	if err := quant.RecalibrateFC(clone, c.Train, ccfg); err != nil {
 		panic(fmt.Sprintf("experiments: recalibrating network %d: %v", id, err))
 	}
 	rcfg := quant.DefaultRefineConfig()
 	rcfg.Samples = c.Cfg.SearchSamples
+	rcfg.Workers = c.Cfg.Workers
 	if _, err := quant.RefineThresholds(clone, c.Train, rcfg); err != nil {
 		panic(fmt.Sprintf("experiments: refining network %d: %v", id, err))
 	}
-	if err := quant.RecalibrateFC(clone, c.Train, quant.DefaultRecalibrateConfig()); err != nil {
+	if err := quant.RecalibrateFC(clone, c.Train, ccfg); err != nil {
 		panic(fmt.Sprintf("experiments: recalibrating network %d: %v", id, err))
 	}
 	if path := c.cachePath("quantcal", id); path != "" {
@@ -246,7 +269,7 @@ func (c *Context) FloatError(id int) float64 {
 	if e, ok := c.floatErr[id]; ok {
 		return e
 	}
-	e := nn.ErrorRate(c.Network(id), c.Test)
+	e := nn.ErrorRateWorkers(c.Network(id), c.Test, c.Cfg.Workers)
 	c.floatErr[id] = e
 	return e
 }
@@ -256,7 +279,7 @@ func (c *Context) QuantError(id int) float64 {
 	if e, ok := c.quantErr[id]; ok {
 		return e
 	}
-	e := c.Quantized(id).ErrorRate(c.Test)
+	e := c.Quantized(id).ErrorRateWorkers(c.Test, c.Cfg.Workers)
 	c.quantErr[id] = e
 	return e
 }
@@ -267,7 +290,7 @@ func (c *Context) QuantCalibratedError(id int) float64 {
 	if e, ok := c.quantCalErr[id]; ok {
 		return e
 	}
-	e := c.QuantizedCalibrated(id).ErrorRate(c.Test)
+	e := c.QuantizedCalibrated(id).ErrorRateWorkers(c.Test, c.Cfg.Workers)
 	c.quantCalErr[id] = e
 	return e
 }

@@ -7,6 +7,7 @@ import (
 
 	"sei/internal/arch"
 	"sei/internal/nn"
+	"sei/internal/par"
 	"sei/internal/power"
 	"sei/internal/rram"
 	"sei/internal/seicore"
@@ -37,38 +38,52 @@ func ParetoStudy(c *Context, networkID int, bitsList []int, sigmas []float64) ([
 	}
 	lib := power.DefaultLibrary()
 	test := c.Test.Subset(200)
-	var points []ParetoPoint
-	for _, bits := range bitsList {
-		// Energy scales with the physical cell count, which depends on
-		// the slice count at this precision.
+
+	// Energy per precision (cheap, and Map can fail — keep it serial).
+	// The mapper's default accounting assumes 4-bit devices (2 slices);
+	// scale the data-dependent portion by the slice ratio.
+	energyFor := make([]float64, len(bitsList))
+	for bi, bits := range bitsList {
 		cfg := arch.DefaultConfig(seicore.StructSEI)
 		m, err := arch.Map(geoms, cfg)
 		if err != nil {
 			return nil, err
 		}
 		_, e := m.Energy(lib)
-		// The mapper's default accounting assumes 4-bit devices (2
-		// slices); scale the data-dependent portion by the slice ratio.
 		sliceRatio := float64(rram.SliceCount(rram.WeightBits, bits)) / float64(rram.SliceCount(rram.WeightBits, 4))
-		energyUJ := power.MicroJoules(power.Breakdown{
+		energyFor[bi] = power.MicroJoules(power.Breakdown{
 			DAC: e.DAC, ADC: e.ADC, SA: e.SA, Digital: e.Digital,
 			Buffer: e.Buffer, DRAM: e.DRAM,
 			RRAM:   e.RRAM * sliceRatio,
 			Driver: e.Driver * sliceRatio,
 		})
-		for _, sigma := range sigmas {
-			model := rram.IdealDeviceModel(bits)
-			model.ProgramSigma = sigma
-			design, err := seicore.BuildOneBitADC(q, model, rand.New(rand.NewSource(c.Cfg.Seed)))
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, ParetoPoint{
-				DeviceBits: bits,
-				Sigma:      sigma,
-				ErrorRate:  nn.ClassifierErrorRate(design, test),
-				EnergyUJ:   energyUJ,
-			})
+	}
+
+	// The grid points are independent designs: build and evaluate each
+	// in its own slot, evaluation on the serial inner path. Each point
+	// seeds its own RNG, so results match the serial sweep exactly.
+	points := make([]ParetoPoint, len(bitsList)*len(sigmas))
+	errs := make([]error, len(points))
+	par.ForEachChunk(c.Cfg.Workers, len(points), 1, func(ch par.Chunk) {
+		i := ch.Lo
+		bits, sigma := bitsList[i/len(sigmas)], sigmas[i%len(sigmas)]
+		model := rram.IdealDeviceModel(bits)
+		model.ProgramSigma = sigma
+		design, err := seicore.BuildOneBitADC(q, model, rand.New(rand.NewSource(c.Cfg.Seed)))
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		points[i] = ParetoPoint{
+			DeviceBits: bits,
+			Sigma:      sigma,
+			ErrorRate:  nn.ClassifierErrorRateWorkers(design, test, 1),
+			EnergyUJ:   energyFor[i/len(sigmas)],
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	markDominated(points)

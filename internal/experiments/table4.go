@@ -9,6 +9,7 @@ import (
 
 	"sei/internal/homog"
 	"sei/internal/nn"
+	"sei/internal/par"
 	"sei/internal/quant"
 	"sei/internal/seicore"
 	"sei/internal/tensor"
@@ -138,13 +139,16 @@ func RandomOrdersFor(q *quant.QuantizedNet, maxSize int, seed int64) [][]int {
 }
 
 // seiError builds an SEI design with the given orders and dynamic
-// setting and evaluates it on the test set.
-func seiError(c *Context, q *quant.QuantizedNet, maxSize int, orders [][]int, dynamic bool, seed int64) float64 {
+// setting and evaluates it on the test set. workers bounds the build's
+// calibration and the evaluation; callers fanning out over designs
+// pass 1 and parallelize the outer loop instead.
+func seiError(c *Context, q *quant.QuantizedNet, maxSize int, orders [][]int, dynamic bool, seed int64, workers int) float64 {
 	cfg := seicore.DefaultSEIBuildConfig()
 	cfg.Layer.MaxCrossbar = maxSize
 	cfg.Orders = orders
 	cfg.DynamicThreshold = dynamic
 	cfg.CalibImages = c.Cfg.CalibImages
+	cfg.Workers = workers
 	var train = c.Train
 	if !dynamic {
 		train = nil
@@ -153,7 +157,7 @@ func seiError(c *Context, q *quant.QuantizedNet, maxSize int, orders [][]int, dy
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building SEI design: %v", err))
 	}
-	return nn.ClassifierErrorRate(design, c.Test)
+	return nn.ClassifierErrorRateWorkers(design, c.Test, workers)
 }
 
 // Table4 runs the splitting study (paper: Network 1 at 512 and 256).
@@ -168,24 +172,35 @@ func Table4(c *Context, networkID int, sizes []int) *Table4Result {
 			SplitStages:  splitConvStages(q, size, seicore.ModeBipolar),
 		}
 
-		// Random order sampling with static thresholds.
+		// Random order sampling with static thresholds. The orders are
+		// drawn serially from one stream (identical to the serial run);
+		// the independent design evaluations then fan out, each on the
+		// serial inner path, and min/max fold over the indexed results.
 		rng := rand.New(rand.NewSource(c.Cfg.Seed + int64(size)))
 		col.RandomMin, col.RandomMax = 1.0, 0.0
 		col.RandomOrdersSampled = c.Cfg.RandomOrders
-		for r := 0; r < c.Cfg.RandomOrders; r++ {
+		randOrders := make([][][]int, c.Cfg.RandomOrders)
+		for r := range randOrders {
 			orders := make([][]int, len(q.Convs))
 			for l := range col.SplitStages {
 				orders[l] = homog.RandomOrder(q.Convs[l].FanIn(), rng)
 			}
-			e := seiError(c, q, size, orders, false, c.Cfg.Seed+int64(r))
+			randOrders[r] = orders
+		}
+		randErr := make([]float64, c.Cfg.RandomOrders)
+		par.ForEachChunk(c.Cfg.Workers, c.Cfg.RandomOrders, 1, func(ch par.Chunk) {
+			r := ch.Lo
+			randErr[r] = seiError(c, q, size, randOrders[r], false, c.Cfg.Seed+int64(r), 1)
+			c.logf("experiments: table4 net%d @%d random order %d/%d: err %.4f\n",
+				networkID, size, r+1, c.Cfg.RandomOrders, randErr[r])
+		})
+		for _, e := range randErr {
 			if e < col.RandomMin {
 				col.RandomMin = e
 			}
 			if e > col.RandomMax {
 				col.RandomMax = e
 			}
-			c.logf("experiments: table4 net%d @%d random order %d/%d: err %.4f\n",
-				networkID, size, r+1, c.Cfg.RandomOrders, e)
 		}
 
 		// Clustered (sorted-by-row-sum) order: the deterministic bad case.
@@ -193,12 +208,12 @@ func Table4(c *Context, networkID int, sizes []int) *Table4Result {
 		for l := range col.SplitStages {
 			clustered[l] = sortedOrder(q.ConvMatrix(l))
 		}
-		col.Clustered = seiError(c, q, size, clustered, false, c.Cfg.Seed+500)
+		col.Clustered = seiError(c, q, size, clustered, false, c.Cfg.Seed+500, c.Cfg.Workers)
 
 		orders, reduction := homogenizedOrders(c, q, size, seicore.ModeBipolar)
 		col.HomogReduction = reduction
-		col.Homogenized = seiError(c, q, size, orders, false, c.Cfg.Seed+1000)
-		col.DynamicThreshold = seiError(c, q, size, orders, true, c.Cfg.Seed+1000)
+		col.Homogenized = seiError(c, q, size, orders, false, c.Cfg.Seed+1000, c.Cfg.Workers)
+		col.DynamicThreshold = seiError(c, q, size, orders, true, c.Cfg.Seed+1000, c.Cfg.Workers)
 		c.logf("experiments: table4 net%d @%d: homog %.4f dynamic %.4f\n",
 			networkID, size, col.Homogenized, col.DynamicThreshold)
 		res.Columns = append(res.Columns, col)

@@ -8,6 +8,7 @@ import (
 	"sei/internal/arch"
 	"sei/internal/baseline"
 	"sei/internal/nn"
+	"sei/internal/par"
 	"sei/internal/power"
 	"sei/internal/rram"
 	"sei/internal/seicore"
@@ -53,15 +54,38 @@ func PaperTable5Points() []Table5Point {
 
 // Table5 evaluates the three structures at each point: functional
 // error through the hardware simulators, energy/area through the
-// mapper.
+// mapper. The context's lazy caches are populated serially up front;
+// the independent design points then fan out, each point splitting
+// the worker budget with the others, and rows concatenate in point
+// order so the result is worker-count independent.
 func Table5(c *Context, points []Table5Point) (*Table5Result, error) {
 	lib := power.DefaultLibrary()
 	res := &Table5Result{Baselines: baseline.All()}
+
+	// Serial prefetch: everything that writes the context's lazy maps.
 	for _, pt := range points {
+		c.QuantizedCalibrated(pt.NetworkID)
+		c.dacadcError(pt.NetworkID)
+		c.oneBitError(pt.NetworkID)
+	}
+
+	inner := par.Resolve(c.Cfg.Workers) / len(points)
+	if inner < 1 {
+		inner = 1
+	}
+	type pointResult struct {
+		rows []Table5Row
+		err  error
+	}
+	perPoint := make([]pointResult, len(points))
+	par.ForEachChunk(c.Cfg.Workers, len(points), 1, func(ch par.Chunk) {
+		pt := points[ch.Lo]
+		pr := &perPoint[ch.Lo]
 		q := c.QuantizedCalibrated(pt.NetworkID)
 		geoms, err := arch.GeometryOf(q)
 		if err != nil {
-			return nil, err
+			pr.err = err
+			return
 		}
 		var baseEnergy, baseArea float64
 		for _, structure := range []seicore.Structure{seicore.StructDACADC, seicore.StructOneBitADC, seicore.StructSEI} {
@@ -69,7 +93,8 @@ func Table5(c *Context, points []Table5Point) (*Table5Result, error) {
 			cfg.MaxCrossbar = pt.MaxCrossbar
 			m, err := arch.Map(geoms, cfg)
 			if err != nil {
-				return nil, err
+				pr.err = err
+				return
 			}
 			_, e := m.Energy(lib)
 			_, a := m.Area(lib)
@@ -91,7 +116,7 @@ func Table5(c *Context, points []Table5Point) (*Table5Result, error) {
 				row.ErrorRate = c.oneBitError(pt.NetworkID)
 			case seicore.StructSEI:
 				orders, _ := homogenizedOrders(c, q, pt.MaxCrossbar, seicore.ModeBipolar)
-				row.ErrorRate = seiError(c, q, pt.MaxCrossbar, orders, true, c.Cfg.Seed+int64(pt.MaxCrossbar))
+				row.ErrorRate = seiError(c, q, pt.MaxCrossbar, orders, true, c.Cfg.Seed+int64(pt.MaxCrossbar), inner)
 			}
 			if baseEnergy > 0 {
 				row.EnergySaving = 1 - row.EnergyUJ/baseEnergy
@@ -101,8 +126,14 @@ func Table5(c *Context, points []Table5Point) (*Table5Result, error) {
 			}
 			c.logf("experiments: table5 net%d @%d %s: err %.4f energy %.3f uJ area %.4f mm2\n",
 				pt.NetworkID, pt.MaxCrossbar, structure, row.ErrorRate, row.EnergyUJ, row.AreaMM2)
-			res.Rows = append(res.Rows, row)
+			pr.rows = append(pr.rows, row)
 		}
+	})
+	for _, pr := range perPoint {
+		if pr.err != nil {
+			return nil, pr.err
+		}
+		res.Rows = append(res.Rows, pr.rows...)
 	}
 	return res, nil
 }
@@ -119,7 +150,7 @@ func (c *Context) dacadcError(id int) float64 {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building DAC+ADC design: %v", err))
 	}
-	e := nn.ClassifierErrorRate(design, c.Test)
+	e := nn.ClassifierErrorRateWorkers(design, c.Test, c.Cfg.Workers)
 	c.floatErr[key] = e
 	return e
 }
@@ -135,7 +166,7 @@ func (c *Context) oneBitError(id int) float64 {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building 1-bit+ADC design: %v", err))
 	}
-	e := nn.ClassifierErrorRate(design, c.Test)
+	e := nn.ClassifierErrorRateWorkers(design, c.Test, c.Cfg.Workers)
 	c.quantErr[key] = e
 	return e
 }

@@ -5,18 +5,42 @@ import (
 	"io"
 
 	"sei/internal/mnist"
+	"sei/internal/par"
 )
 
-// ConfusionMatrix evaluates a classifier and returns counts[target][predicted].
+// ConfusionMatrix evaluates a classifier and returns
+// counts[target][predicted]. Each row has NumClasses+1 columns: the
+// extra final column is an overflow bucket counting predictions
+// outside [0, NumClasses) — a broken evaluator must show up in the
+// matrix, not vanish from it. Evaluation runs on the parallel engine
+// and is bit-identical for every worker count.
 func ConfusionMatrix(c Classifier, data *mnist.Dataset) [][]int {
 	cm := make([][]int, mnist.NumClasses)
 	for i := range cm {
-		cm[i] = make([]int, mnist.NumClasses)
+		cm[i] = make([]int, mnist.NumClasses+1)
 	}
-	for i, img := range data.Images {
-		pred := c.Predict(img)
-		if pred >= 0 && pred < mnist.NumClasses {
-			cm[data.Labels[i]][pred]++
+	w := evalWorkers(c, 0)
+	locals := par.MapChunks(w, data.Len(), par.DefaultChunkSize,
+		func(ch par.Chunk) [][]int {
+			eval := chunkEvaluator(c, ch)
+			local := make([][]int, mnist.NumClasses)
+			for i := range local {
+				local[i] = make([]int, mnist.NumClasses+1)
+			}
+			for i := ch.Lo; i < ch.Hi; i++ {
+				pred := eval.Predict(data.Images[i])
+				if pred < 0 || pred >= mnist.NumClasses {
+					pred = mnist.NumClasses
+				}
+				local[data.Labels[i]][pred]++
+			}
+			return local
+		})
+	for _, local := range locals {
+		for t, row := range local {
+			for p, n := range row {
+				cm[t][p] += n
+			}
 		}
 	}
 	return cm
@@ -41,11 +65,21 @@ func PerClassError(cm [][]int) []float64 {
 	return out
 }
 
-// PrintConfusion renders the matrix with per-class error rates.
+// PrintConfusion renders the matrix with per-class error rates. Rows
+// wider than the class count get their trailing columns labelled
+// "inv" (the out-of-range overflow bucket).
 func PrintConfusion(w io.Writer, cm [][]int) {
 	fmt.Fprintf(w, "      ")
-	for p := range cm {
-		fmt.Fprintf(w, "%5d", p)
+	width := len(cm)
+	if len(cm) > 0 && len(cm[0]) > width {
+		width = len(cm[0])
+	}
+	for p := 0; p < width; p++ {
+		if p < len(cm) {
+			fmt.Fprintf(w, "%5d", p)
+		} else {
+			fmt.Fprintf(w, "%5s", "inv")
+		}
 	}
 	fmt.Fprintf(w, "   err\n")
 	errs := PerClassError(cm)
@@ -59,10 +93,14 @@ func PrintConfusion(w io.Writer, cm [][]int) {
 }
 
 // MostConfusedPair returns the (target, predicted) off-diagonal cell
-// with the highest count — the single most frequent mistake.
+// with the highest count — the single most frequent mistake between
+// real classes. The overflow bucket is not a class and is skipped.
 func MostConfusedPair(cm [][]int) (target, predicted, count int) {
 	for t, row := range cm {
 		for p, n := range row {
+			if p >= len(cm) {
+				break
+			}
 			if t != p && n > count {
 				target, predicted, count = t, p, n
 			}

@@ -41,6 +41,12 @@ type Layer interface {
 	Params() []*Param
 	// OutShape returns the output shape for a given input shape.
 	OutShape(in []int) []int
+	// EvalClone returns a layer that shares this layer's parameters but
+	// owns its own Forward scratch state, so concurrent forward-only
+	// evaluation is safe (one clone per goroutine). Backward on a clone
+	// accumulates into the shared parameter gradients and must not run
+	// concurrently with other clones.
+	EvalClone() Layer
 }
 
 // Conv2D is a valid (no-padding) convolution layer with weight shape
@@ -97,6 +103,12 @@ func (c *Conv2D) Params() []*Param {
 		return []*Param{c.Weight, c.Bias}
 	}
 	return []*Param{c.Weight}
+}
+
+func (c *Conv2D) EvalClone() Layer {
+	clone := *c
+	clone.lastIn, clone.lastCols = nil, nil
+	return &clone
 }
 
 func (c *Conv2D) OutShape(in []int) []int {
@@ -171,6 +183,7 @@ func NewReLU() *ReLU { return &ReLU{} }
 func (r *ReLU) Name() string            { return "relu" }
 func (r *ReLU) Params() []*Param        { return nil }
 func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+func (r *ReLU) EvalClone() Layer        { return &ReLU{} }
 
 func (r *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
 	r.lastIn = in
@@ -215,6 +228,7 @@ func NewMaxPool2D(size int) *MaxPool2D {
 
 func (m *MaxPool2D) Name() string     { return fmt.Sprintf("maxpool%d", m.Size) }
 func (m *MaxPool2D) Params() []*Param { return nil }
+func (m *MaxPool2D) EvalClone() Layer { return &MaxPool2D{Size: m.Size} }
 
 func (m *MaxPool2D) OutShape(in []int) []int {
 	if len(in) != 3 {
@@ -275,6 +289,7 @@ func NewFlatten() *Flatten { return &Flatten{} }
 
 func (f *Flatten) Name() string     { return "flatten" }
 func (f *Flatten) Params() []*Param { return nil }
+func (f *Flatten) EvalClone() Layer { return &Flatten{} }
 
 func (f *Flatten) OutShape(in []int) []int {
 	n := 1
@@ -321,6 +336,12 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 
 func (d *Dense) Name() string     { return fmt.Sprintf("fc%dx%d", d.In, d.Out) }
 func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+func (d *Dense) EvalClone() Layer {
+	clone := *d
+	clone.lastIn = nil
+	return &clone
+}
 
 func (d *Dense) OutShape(in []int) []int {
 	if len(in) != 1 || in[0] != d.In {

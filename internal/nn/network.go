@@ -47,6 +47,21 @@ func (n *Network) Predict(in *tensor.Tensor) int {
 	return n.Forward(in).ArgMax()
 }
 
+// EvalClone returns a network sharing this network's parameters whose
+// layers own fresh Forward scratch, for goroutine-exclusive forward
+// evaluation (see Layer.EvalClone).
+func (n *Network) EvalClone() *Network {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		layers[i] = l.EvalClone()
+	}
+	return &Network{Name: n.Name, Layers: layers}
+}
+
+// CloneForEval implements ParallelClassifier. The float network is
+// noise-free, so the seed is ignored.
+func (n *Network) CloneForEval(seed int64) Classifier { return n.EvalClone() }
+
 // Backward propagates dLoss/dLogits through the stack, accumulating
 // parameter gradients. It must follow a Forward call on the same
 // sample.

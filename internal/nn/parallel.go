@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"sei/internal/mnist"
+	"sei/internal/par"
+)
+
+// ParallelClassifier is a Classifier whose evaluation can be spread
+// across goroutines: CloneForEval hands out a classifier for
+// exclusive use by one goroutine. seed re-seeds any internal
+// stochastic state (e.g. RRAM read noise) from the engine's per-chunk
+// seeding scheme; noise-free evaluators ignore it and may return the
+// receiver when Predict is already read-only.
+type ParallelClassifier interface {
+	Classifier
+	CloneForEval(seed int64) Classifier
+}
+
+// evalSeedBase anchors the per-chunk noise streams of dataset
+// evaluation. It is a fixed constant so evaluation results are
+// reproducible run to run and independent of the worker count (the
+// chunk grid depends only on the dataset size).
+const evalSeedBase int64 = 0x5E1C0DE
+
+// chunkEvaluator returns the classifier chunk c should use: a
+// goroutine-exclusive clone when the classifier supports it, the
+// shared classifier itself otherwise (in which case the caller must
+// have forced the serial path).
+func chunkEvaluator(c Classifier, chunk par.Chunk) Classifier {
+	if pc, ok := c.(ParallelClassifier); ok {
+		return pc.CloneForEval(par.ChunkSeed(evalSeedBase, chunk.Index))
+	}
+	return c
+}
+
+// evalWorkers resolves the worker count for a classifier: classifiers
+// that cannot hand out clones are evaluated serially regardless of
+// the requested parallelism.
+func evalWorkers(c Classifier, workers int) int {
+	if _, ok := c.(ParallelClassifier); !ok {
+		return 1
+	}
+	return par.Resolve(workers)
+}
+
+// ClassifierErrorRateWorkers evaluates a classifier on a dataset with
+// the given worker count (0 = all cores, 1 = the serial path). The
+// result is bit-identical for every worker count: misclassification
+// counting is order-independent and any evaluator noise is drawn from
+// per-chunk seeded streams.
+func ClassifierErrorRateWorkers(c Classifier, data *mnist.Dataset, workers int) float64 {
+	w := evalWorkers(c, workers)
+	wrong := par.MapReduce(w, data.Len(), par.DefaultChunkSize,
+		func(ch par.Chunk) int {
+			eval := chunkEvaluator(c, ch)
+			local := 0
+			for i := ch.Lo; i < ch.Hi; i++ {
+				if eval.Predict(data.Images[i]) != data.Labels[i] {
+					local++
+				}
+			}
+			return local
+		},
+		func(a, b int) int { return a + b }, 0)
+	return float64(wrong) / float64(data.Len())
+}
+
+// ErrorRateWorkers evaluates a float network on a dataset with the
+// given worker count (see ClassifierErrorRateWorkers).
+func ErrorRateWorkers(net *Network, data *mnist.Dataset, workers int) float64 {
+	return ClassifierErrorRateWorkers(net, data, workers)
+}

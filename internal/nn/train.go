@@ -18,6 +18,13 @@ type TrainConfig struct {
 	LRDecay   float64   // multiplicative LR decay applied per epoch
 	Seed      int64     // shuffling seed
 	Log       io.Writer // optional progress sink; nil silences logging
+
+	// Val, when set, is evaluated after every epoch and its error
+	// rate logged. Validation runs on the parallel engine with
+	// Workers goroutines (0 = all cores, 1 = serial); the gradient
+	// loop itself stays serial because SGD is order-dependent.
+	Val     *mnist.Dataset
+	Workers int
 }
 
 // DefaultTrainConfig returns settings that train the Table-2 networks
@@ -38,6 +45,9 @@ func DefaultTrainConfig() TrainConfig {
 func Train(net *Network, data *mnist.Dataset, cfg TrainConfig) float64 {
 	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
 		panic(fmt.Sprintf("nn: invalid train config %+v", cfg))
+	}
+	if cfg.Workers < 0 {
+		panic(fmt.Sprintf("nn: train config Workers %d is negative (0 means all cores, 1 the serial path)", cfg.Workers))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	params := net.Params()
@@ -87,6 +97,13 @@ func Train(net *Network, data *mnist.Dataset, cfg TrainConfig) float64 {
 			fmt.Fprintf(cfg.Log, "nn: %s epoch %d/%d loss %.4f lr %.4f\n",
 				net.Name, epoch+1, cfg.Epochs, lastEpochLoss, lr)
 		}
+		if cfg.Val != nil && cfg.Val.Len() > 0 {
+			valErr := ErrorRateWorkers(net, cfg.Val, cfg.Workers)
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "nn: %s epoch %d/%d val error %.2f%%\n",
+					net.Name, epoch+1, cfg.Epochs, 100*valErr)
+			}
+		}
 		if cfg.LRDecay > 0 {
 			lr *= cfg.LRDecay
 		}
@@ -95,14 +112,10 @@ func Train(net *Network, data *mnist.Dataset, cfg TrainConfig) float64 {
 }
 
 // ErrorRate returns the fraction of misclassified samples in [0,1].
+// It runs on the parallel engine with all cores; the result is
+// bit-identical to the serial path (see ClassifierErrorRateWorkers).
 func ErrorRate(net *Network, data *mnist.Dataset) float64 {
-	wrong := 0
-	for i, img := range data.Images {
-		if net.Predict(img) != data.Labels[i] {
-			wrong++
-		}
-	}
-	return float64(wrong) / float64(data.Len())
+	return ErrorRateWorkers(net, data, 0)
 }
 
 // Classifier is anything that maps an image to a class. The quantized
@@ -111,13 +124,9 @@ type Classifier interface {
 	Predict(in *tensor.Tensor) int
 }
 
-// ClassifierErrorRate evaluates any Classifier on a dataset.
+// ClassifierErrorRate evaluates any Classifier on a dataset. When the
+// classifier supports ParallelClassifier the evaluation fans out over
+// all cores; plain classifiers are evaluated serially.
 func ClassifierErrorRate(c Classifier, data *mnist.Dataset) float64 {
-	wrong := 0
-	for i, img := range data.Images {
-		if c.Predict(img) != data.Labels[i] {
-			wrong++
-		}
-	}
-	return float64(wrong) / float64(data.Len())
+	return ClassifierErrorRateWorkers(c, data, 0)
 }

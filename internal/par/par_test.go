@@ -1,0 +1,142 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(-1); err == nil {
+		t.Fatal("Validate(-1) must fail")
+	}
+	if err := Validate(0); err != nil {
+		t.Fatalf("Validate(0): %v", err)
+	}
+	if err := Validate(8); err != nil {
+		t.Fatalf("Validate(8): %v", err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resolve(-1) must panic")
+		}
+	}()
+	Resolve(-1)
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 1003
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachChunkBoundaries(t *testing.T) {
+	var got []Chunk
+	ForEachChunk(1, 10, 4, func(c Chunk) { got = append(got, c) })
+	want := []Chunk{{0, 0, 4}, {1, 4, 8}, {2, 8, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("chunks %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunk %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Empty range: no calls, no panic.
+	ForEachChunk(4, 0, 4, func(Chunk) { t.Fatal("called on empty range") })
+}
+
+func TestMapChunksOrderIndependentOfWorkers(t *testing.T) {
+	const n = 257
+	ref := MapChunks(1, n, 8, func(c Chunk) int { return c.Lo*31 + c.Hi })
+	for _, workers := range []int{2, 5, 0} {
+		got := MapChunks(workers, n, 8, func(c Chunk) int { return c.Lo*31 + c.Hi })
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d chunks, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: chunk %d = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Float summation is not associative; MapReduce must still be
+// bit-identical across worker counts because the fold is serial in
+// chunk order.
+func TestMapReduceFloatDeterminism(t *testing.T) {
+	const n = 1000
+	vals := make([]float64, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e3
+	}
+	sum := func(workers int) float64 {
+		return MapReduce(workers, n, DefaultChunkSize,
+			func(c Chunk) float64 {
+				s := 0.0
+				for i := c.Lo; i < c.Hi; i++ {
+					s += vals[i]
+				}
+				return s
+			},
+			func(a, b float64) float64 { return a + b }, 0)
+	}
+	ref := sum(1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		if got := sum(workers); got != ref {
+			t.Fatalf("workers=%d: sum %v != serial %v", workers, got, ref)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	const n = 500
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			want++
+		}
+	}
+	for _, workers := range []int{1, 2, 8, 0} {
+		if got := Count(workers, n, func(i int) bool { return i%3 == 0 }); got != want {
+			t.Fatalf("workers=%d: count %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestChunkSeedDecorrelated(t *testing.T) {
+	seen := map[int64]bool{}
+	for c := 0; c < 1000; c++ {
+		s := ChunkSeed(1, c)
+		if seen[s] {
+			t.Fatalf("duplicate seed for chunk %d", c)
+		}
+		seen[s] = true
+	}
+	if ChunkSeed(1, 0) == ChunkSeed(2, 0) {
+		t.Fatal("base seed does not alter chunk seeds")
+	}
+	// Stable across calls (pure function).
+	if ChunkSeed(7, 3) != ChunkSeed(7, 3) {
+		t.Fatal("ChunkSeed is not deterministic")
+	}
+}

@@ -2,6 +2,7 @@ package quant
 
 import (
 	"sei/internal/mnist"
+	"sei/internal/par"
 )
 
 // ActivityFactors measures the mean fraction of active (1) inputs
@@ -21,15 +22,28 @@ func (q *QuantizedNet) ActivityFactors(data *mnist.Dataset) []float64 {
 		}
 		return factors
 	}
+	// Per-chunk partial sums folded in chunk order keep the float
+	// accumulation bit-identical for every worker count.
+	type partial struct{ sums, counts []float64 }
 	sums := make([]float64, n)
 	counts := make([]float64, n)
-	for _, img := range data.Images {
-		acts := q.BinaryActivations(img)
-		// acts[l] is the map entering conv stage l+1 (or the FC for the
-		// last one).
-		for l, a := range acts {
-			sums[l+1] += a.Sum()
-			counts[l+1] += float64(a.Len())
+	for _, p := range par.MapChunks(0, data.Len(), par.DefaultChunkSize,
+		func(c par.Chunk) partial {
+			p := partial{sums: make([]float64, n), counts: make([]float64, n)}
+			for i := c.Lo; i < c.Hi; i++ {
+				acts := q.BinaryActivations(data.Images[i])
+				// acts[l] is the map entering conv stage l+1 (or the FC
+				// for the last one).
+				for l, a := range acts {
+					p.sums[l+1] += a.Sum()
+					p.counts[l+1] += float64(a.Len())
+				}
+			}
+			return p
+		}) {
+		for i := 1; i < n; i++ {
+			sums[i] += p.sums[i]
+			counts[i] += p.counts[i]
 		}
 	}
 	for i := 1; i < n; i++ {

@@ -23,13 +23,17 @@ func QuantizeNetwork(net *nn.Network, train *mnist.Dataset, inShape []int, cfg S
 
 // ErrorRate evaluates the exact digital binarized network on a
 // dataset, returning the misclassification fraction — the "After
-// Quantization" rows of Table 3.
+// Quantization" rows of Table 3. It runs on the parallel engine with
+// all cores; see ErrorRateWorkers.
 func (q *QuantizedNet) ErrorRate(data *mnist.Dataset) float64 {
-	wrong := 0
-	for i, img := range data.Images {
-		if q.Predict(img) != data.Labels[i] {
-			wrong++
-		}
-	}
-	return float64(wrong) / float64(data.Len())
+	return q.ErrorRateWorkers(data, 0)
+}
+
+// ErrorRateWorkers evaluates the digital binarized network with the
+// given worker count (0 = all cores, 1 = the serial path). The digital
+// pipeline is deterministic and misclassification counting is
+// order-independent, so the result is bit-identical for every worker
+// count.
+func (q *QuantizedNet) ErrorRateWorkers(data *mnist.Dataset, workers int) float64 {
+	return nn.ClassifierErrorRateWorkers(q, data, workers)
 }

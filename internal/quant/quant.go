@@ -235,6 +235,11 @@ func (q *QuantizedNet) Predict(img *tensor.Tensor) int {
 	return tensor.FromSlice(scores, len(scores)).ArgMax()
 }
 
+// CloneForEval implements nn.ParallelClassifier. The digital evaluator
+// is stateless and Predict only reads the network, so the receiver
+// itself is safe to share across goroutines; the seed is ignored.
+func (q *QuantizedNet) CloneForEval(seed int64) nn.Classifier { return q }
+
 // PredictWith classifies one image with an arbitrary evaluator
 // (e.g. a hardware simulation).
 func (q *QuantizedNet) PredictWith(eval StageEval, img *tensor.Tensor) int {

@@ -6,6 +6,7 @@ import (
 
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/par"
 )
 
 // RecalibrateConfig controls the optional FC recalibration step.
@@ -14,6 +15,10 @@ type RecalibrateConfig struct {
 	BatchSize int
 	LR        float64
 	Seed      int64
+	// Workers parallelizes the frozen-feature precomputation (0 = all
+	// cores, 1 = serial). The SGD loop itself stays serial: it is
+	// order-dependent and cheap next to the feature extraction.
+	Workers int
 }
 
 // DefaultRecalibrateConfig trains the classifier head for a few cheap
@@ -34,12 +39,15 @@ func RecalibrateFC(q *QuantizedNet, train *mnist.Dataset, cfg RecalibrateConfig)
 	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
 		return fmt.Errorf("quant: invalid recalibrate config %+v", cfg)
 	}
-	// Precompute the frozen binary features once.
-	features := make([][]float64, train.Len())
-	for i, img := range train.Images {
-		acts := q.BinaryActivations(img)
-		features[i] = acts[len(acts)-1].Data()
+	if err := par.Validate(cfg.Workers); err != nil {
+		return fmt.Errorf("quant: recalibrate config: %w", err)
 	}
+	// Precompute the frozen binary features once, one slot per sample.
+	features := make([][]float64, train.Len())
+	par.ForEach(cfg.Workers, train.Len(), func(i int) {
+		acts := q.BinaryActivations(train.Images[i])
+		features[i] = acts[len(acts)-1].Data()
+	})
 
 	out, in := q.FC.W.Dim(0), q.FC.W.Dim(1)
 	w := q.FC.W.Data()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sei/internal/mnist"
+	"sei/internal/par"
 )
 
 // RefineConfig controls the coordinate-descent threshold refinement.
@@ -12,6 +13,7 @@ type RefineConfig struct {
 	Step    float64 // candidate spacing around the current threshold
 	Radius  int     // candidates tried on each side of the current value
 	Samples int     // training subsample (0 = all)
+	Workers int     // parallel engine goroutines (0 = all cores, 1 = serial)
 }
 
 // DefaultRefineConfig refines each threshold over ±5 steps of 0.01 for
@@ -31,17 +33,19 @@ func RefineThresholds(q *QuantizedNet, train *mnist.Dataset, cfg RefineConfig) (
 	if cfg.Rounds <= 0 || cfg.Step <= 0 || cfg.Radius <= 0 {
 		return 0, fmt.Errorf("quant: invalid refine config %+v", cfg)
 	}
+	if err := par.Validate(cfg.Workers); err != nil {
+		return 0, fmt.Errorf("quant: refine config: %w", err)
+	}
 	data := train
 	if cfg.Samples > 0 && cfg.Samples < train.Len() {
 		data = train.Subset(cfg.Samples)
 	}
+	// Candidate thresholds mutate q between calls, but within one call
+	// q is read-only, so samples fan out safely.
 	accuracy := func() float64 {
-		correct := 0
-		for i, img := range data.Images {
-			if q.Predict(img) == data.Labels[i] {
-				correct++
-			}
-		}
+		correct := par.Count(cfg.Workers, data.Len(), func(i int) bool {
+			return q.Predict(data.Images[i]) == data.Labels[i]
+		})
 		return float64(correct) / float64(data.Len())
 	}
 	best := accuracy()

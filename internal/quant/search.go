@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sei/internal/mnist"
+	"sei/internal/par"
 	"sei/internal/tensor"
 )
 
@@ -23,6 +24,11 @@ type SearchConfig struct {
 	// preserves the optimum because only the argmax over a smooth
 	// accuracy curve matters.
 	Samples int
+	// Workers bounds the parallel engine's goroutines (0 = all cores,
+	// 1 = the serial path). Every worker count yields bit-identical
+	// thresholds: candidate scoring is an order-independent count and
+	// sample chunking is fixed.
+	Workers int
 }
 
 // DefaultSearchConfig uses a wider interval than the paper's [0, 0.1]:
@@ -75,6 +81,9 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 	if cfg.ThresMax <= cfg.ThresMin || cfg.CoarseStep <= 0 || cfg.FineStep <= 0 {
 		return nil, fmt.Errorf("quant: invalid search config %+v", cfg)
 	}
+	if err := par.Validate(cfg.Workers); err != nil {
+		return nil, fmt.Errorf("quant: search config: %w", err)
+	}
 	data := train
 	if cfg.Samples > 0 && cfg.Samples < train.Len() {
 		data = train.Subset(cfg.Samples)
@@ -92,15 +101,22 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 	copy(entries, data.Images)
 
 	for l := range q.Convs {
-		// Step 1: stage outputs under the quantized prefix.
+		// Step 1: stage outputs under the quantized prefix. Each
+		// sample's output lands in its own slot; the per-chunk maxima
+		// fold in chunk order (max is order-independent anyway).
 		convOut := make([]*tensor.Tensor, data.Len())
-		maxOut := 0.0
-		for i, in := range entries {
-			convOut[i] = floatConv(&q.Convs[l], in)
-			if m := convOut[i].Max(); m > maxOut {
-				maxOut = m
-			}
-		}
+		maxOut := par.MapReduce(cfg.Workers, data.Len(), par.DefaultChunkSize,
+			func(c par.Chunk) float64 {
+				m := 0.0
+				for i := c.Lo; i < c.Hi; i++ {
+					convOut[i] = floatConv(&q.Convs[l], entries[i])
+					if v := convOut[i].Max(); v > m {
+						m = v
+					}
+				}
+				return m
+			},
+			math.Max, 0)
 		if maxOut <= 1e-12 {
 			return nil, fmt.Errorf("quant: conv stage %d produces no positive outputs; network is dead", l)
 		}
@@ -109,22 +125,20 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 		// weights scales the outputs; it cannot change the float
 		// network's classification.
 		q.Convs[l].W.Scale(1 / maxOut)
-		for _, t := range convOut {
-			t.Scale(1 / maxOut)
-		}
+		par.ForEach(cfg.Workers, len(convOut), func(i int) {
+			convOut[i].Scale(1 / maxOut)
+		})
 
 		// Step 3: brute-force threshold search, coarse then fine.
+		// Candidate scoring fans out over samples; q is read-only here.
 		evalT := func(t float64) float64 {
-			correct := 0
-			for i := range convOut {
+			correct := par.Count(cfg.Workers, len(convOut), func(i int) bool {
 				bits := binarize(convOut[i], t)
 				if q.Convs[l].PoolSize > 1 {
 					bits = orPool(bits, q.Convs[l].PoolSize)
 				}
-				if floatRemainder(q, l+1, bits) == data.Labels[i] {
-					correct++
-				}
-			}
+				return floatRemainder(q, l+1, bits) == data.Labels[i]
+			})
 			return float64(correct) / float64(len(convOut))
 		}
 		bestT, bestAcc := cfg.ThresMin, -1.0
@@ -146,9 +160,9 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 		})
 
 		// Advance the cached entries through the now-final stage.
-		for i, in := range entries {
-			entries[i] = q.convStage(eval, l, in)
-		}
+		par.ForEach(cfg.Workers, len(entries), func(i int) {
+			entries[i] = q.convStage(eval, l, entries[i])
+		})
 	}
 	return report, nil
 }

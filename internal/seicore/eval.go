@@ -6,6 +6,7 @@ import (
 
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/par"
 	"sei/internal/quant"
 	"sei/internal/rram"
 	"sei/internal/tensor"
@@ -57,6 +58,10 @@ type SEIBuildConfig struct {
 	// up to CalibImages training images, up to CalibPositions receptive
 	// fields sampled per image and stage.
 	CalibImages, CalibPositions int
+	// Workers bounds the calibration's parallel engine (0 = all cores,
+	// 1 = the serial path). Calibration results are bit-identical for
+	// every worker count.
+	Workers int
 }
 
 // DefaultSEIBuildConfig returns the paper's default SEI setup.
@@ -93,6 +98,9 @@ var _ quant.StageEval = (*SEIDesign)(nil)
 func BuildSEI(q *quant.QuantizedNet, train *mnist.Dataset, cfg SEIBuildConfig, rng *rand.Rand) (*SEIDesign, error) {
 	if len(q.Convs) < 1 {
 		return nil, fmt.Errorf("seicore: quantized net has no conv stages")
+	}
+	if err := par.Validate(cfg.Workers); err != nil {
+		return nil, fmt.Errorf("seicore: build config: %w", err)
 	}
 	d := &SEIDesign{Q: q, CalibResults: map[int]CalibrationResult{}}
 
@@ -142,14 +150,11 @@ func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
 	if cfg.CalibImages > 0 && cfg.CalibImages < train.Len() {
 		data = train.Subset(cfg.CalibImages)
 	}
+	// The γ/D grid search mutates the layer between accuracy calls;
+	// within one call d is read-only (noisy designs clone per chunk,
+	// snapshotting the current γ/D), so samples fan out safely.
 	accuracy := func() float64 {
-		correct := 0
-		for i, img := range data.Images {
-			if d.Predict(img) == data.Labels[i] {
-				correct++
-			}
-		}
-		return float64(correct) / float64(data.Len())
+		return 1 - nn.ClassifierErrorRateWorkers(d, data, cfg.Workers)
 	}
 	for li, layer := range d.Convs {
 		stage := li + 1 // conv stage index in the quantized net
@@ -157,18 +162,38 @@ func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
 			continue // no splitting, nothing to compensate
 		}
 		// Per-block mean active counts from the digital pipeline.
-		samples := d.collectCalibration(stage, data.Images, cfg.CalibPositions)
+		samples := d.collectCalibration(stage, data.Images, cfg.CalibPositions, cfg.Workers)
 		if len(samples) == 0 {
 			return fmt.Errorf("seicore: no calibration samples for stage %d", stage)
 		}
+		// Active counts are noise-independent ints, but BlockSums draws
+		// from the layer's noise RNG when the model has read noise, so
+		// each chunk works on a re-seeded clone. Integer-valued float
+		// sums are exact; folding in chunk order keeps the division
+		// bit-identical anyway.
 		onesMean := make([]float64, layer.K)
 		meanOnes := 0.0
-		for _, s := range samples {
-			_, _, ones := layer.BlockSums(s.In)
-			for b, o := range ones {
-				onesMean[b] += float64(o)
-				meanOnes += float64(o)
+		type onesPartial struct {
+			perBlock []float64
+			total    float64
+		}
+		for _, p := range par.MapChunks(cfg.Workers, len(samples), par.DefaultChunkSize,
+			func(c par.Chunk) onesPartial {
+				eval := layer.evalClone(layerRNG(calibSeedBase, c.Index))
+				p := onesPartial{perBlock: make([]float64, layer.K)}
+				for i := c.Lo; i < c.Hi; i++ {
+					_, _, ones := eval.BlockSums(samples[i].In)
+					for b, o := range ones {
+						p.perBlock[b] += float64(o)
+						p.total += float64(o)
+					}
+				}
+				return p
+			}) {
+			for b, v := range p.perBlock {
+				onesMean[b] += v
 			}
+			meanOnes += p.total
 		}
 		for b := range onesMean {
 			onesMean[b] /= float64(len(samples))
@@ -209,15 +234,22 @@ func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
 	return nil
 }
 
+// calibSeedBase anchors the noise streams consumed while measuring
+// per-block active counts; a fixed constant keeps calibration
+// reproducible and worker-count independent.
+const calibSeedBase int64 = 0xCA11B
+
 // collectCalibration gathers (receptive field, digital reference bits)
 // pairs for one conv stage from training images, using the exact
-// digital pipeline for both the stage inputs and the reference.
-func (d *SEIDesign) collectCalibration(stage int, images []*tensor.Tensor, maxPositions int) []CalibrationSample {
+// digital pipeline for both the stage inputs and the reference. Images
+// are processed in parallel; per-image sample lists concatenate in
+// image order, so the result is independent of the worker count.
+func (d *SEIDesign) collectCalibration(stage int, images []*tensor.Tensor, maxPositions, workers int) []CalibrationSample {
 	q := d.Q
 	digital := q.Digital()
-	var samples []CalibrationSample
-	for _, img := range images {
-		acts := q.BinaryActivations(img)
+	perImage := make([][]CalibrationSample, len(images))
+	par.ForEach(workers, len(images), func(i int) {
+		acts := q.BinaryActivations(images[i])
 		in := acts[stage-1] // activation map entering this stage
 		c := &q.Convs[stage]
 		kh, kw := c.W.Dim(2), c.W.Dim(3)
@@ -230,11 +262,15 @@ func (d *SEIDesign) collectCalibration(stage int, images []*tensor.Tensor, maxPo
 		}
 		for p := 0; p < positions; p += step {
 			field := append([]float64(nil), cols.Data()[p*fan:(p+1)*fan]...)
-			samples = append(samples, CalibrationSample{
+			perImage[i] = append(perImage[i], CalibrationSample{
 				In:  field,
 				Ref: digital.EvalConv(stage, field),
 			})
 		}
+	})
+	var samples []CalibrationSample
+	for _, s := range perImage {
+		samples = append(samples, s...)
 	}
 	return samples
 }

@@ -1,0 +1,140 @@
+package seicore
+
+import (
+	"math/rand"
+
+	"sei/internal/nn"
+	"sei/internal/par"
+)
+
+// The SEI simulators carry mutable state only in their read-noise RNGs
+// (l.noise / l.readNoise); everything else an Eval touches is
+// read-only. Noise-free designs (the default device model) are
+// therefore safe to share across goroutines as-is, and noisy designs
+// hand out value clones whose RNGs are re-seeded per chunk so results
+// stay bit-identical for every worker count.
+
+// evalClone returns a copy sharing the blocks and threshold slices but
+// owning its noise RNG. rng may be nil for the noise-free case.
+func (l *SEIConvLayer) evalClone(rng *rand.Rand) *SEIConvLayer {
+	clone := *l
+	clone.noise = rng
+	return &clone
+}
+
+// evalClone returns a copy sharing the blocks but owning its noise
+// RNG.
+func (l *SEIFCLayer) evalClone(rng *rand.Rand) *SEIFCLayer {
+	clone := *l
+	clone.noise = rng
+	return &clone
+}
+
+// evalClone returns a copy sharing the effective weights but owning
+// its read-noise RNG.
+func (l *MergedLayer) evalClone(rng *rand.Rand) *MergedLayer {
+	clone := *l
+	clone.readNoise = rng
+	return &clone
+}
+
+// noisy reports whether any layer of the design draws read noise.
+func (d *SEIDesign) noisy() bool {
+	if d.Input.readNoise != nil {
+		return true
+	}
+	for _, l := range d.Convs {
+		if l.noise != nil {
+			return true
+		}
+	}
+	return d.FC.noise != nil
+}
+
+// layerRNG derives layer idx's RNG for one evaluation clone.
+func layerRNG(seed int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(par.ChunkSeed(seed, idx)))
+}
+
+// CloneForEval implements nn.ParallelClassifier. Noise-free designs
+// are read-only under Predict and return the receiver; noisy designs
+// return a clone whose per-layer noise streams are re-seeded from
+// seed, so evaluation is deterministic for every worker count.
+func (d *SEIDesign) CloneForEval(seed int64) nn.Classifier {
+	if !d.noisy() {
+		return d
+	}
+	clone := *d
+	idx := 0
+	if d.Input.readNoise != nil {
+		clone.Input = d.Input.evalClone(layerRNG(seed, idx))
+	}
+	idx++
+	clone.Convs = make([]*SEIConvLayer, len(d.Convs))
+	for i, l := range d.Convs {
+		if l.noise != nil {
+			clone.Convs[i] = l.evalClone(layerRNG(seed, idx+i))
+		} else {
+			clone.Convs[i] = l
+		}
+	}
+	idx += len(d.Convs)
+	if d.FC.noise != nil {
+		clone.FC = d.FC.evalClone(layerRNG(seed, idx))
+	}
+	return &clone
+}
+
+// CloneForEval implements nn.ParallelClassifier (see SEIDesign).
+func (d *MergedDesign) CloneForEval(seed int64) nn.Classifier {
+	noisy := d.FC.readNoise != nil
+	for _, l := range d.Stages {
+		noisy = noisy || l.readNoise != nil
+	}
+	if !noisy {
+		return d
+	}
+	clone := *d
+	clone.Stages = make([]*MergedLayer, len(d.Stages))
+	for i, l := range d.Stages {
+		if l.readNoise != nil {
+			clone.Stages[i] = l.evalClone(layerRNG(seed, i))
+		} else {
+			clone.Stages[i] = l
+		}
+	}
+	if d.FC.readNoise != nil {
+		clone.FC = d.FC.evalClone(layerRNG(seed, len(d.Stages)))
+	}
+	return &clone
+}
+
+// CloneForEval implements nn.ParallelClassifier (see SEIDesign).
+func (d *FloatDesign) CloneForEval(seed int64) nn.Classifier {
+	noisy := d.fc.readNoise != nil
+	for _, l := range d.conv {
+		noisy = noisy || l.readNoise != nil
+	}
+	if !noisy {
+		return d
+	}
+	clone := *d
+	clone.conv = make([]*MergedLayer, len(d.conv))
+	for i, l := range d.conv {
+		if l.readNoise != nil {
+			clone.conv[i] = l.evalClone(layerRNG(seed, i))
+		} else {
+			clone.conv[i] = l
+		}
+	}
+	if d.fc.readNoise != nil {
+		clone.fc = d.fc.evalClone(layerRNG(seed, len(d.conv)))
+	}
+	return &clone
+}
+
+var (
+	_ nn.ParallelClassifier = (*SEIDesign)(nil)
+	_ nn.ParallelClassifier = (*MergedDesign)(nil)
+	_ nn.ParallelClassifier = (*FloatDesign)(nil)
+)

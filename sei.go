@@ -34,6 +34,7 @@ import (
 	"sei/internal/experiments"
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/par"
 	"sei/internal/power"
 	"sei/internal/quant"
 	"sei/internal/rram"
@@ -99,20 +100,29 @@ func EvaluateNetwork(net *Network, test *Dataset) float64 { return nn.ErrorRate(
 
 // Quantize runs Algorithm 1 (weight re-scaling plus greedy threshold
 // search) on a trained network, then the FC-recalibration and
-// threshold-refinement calibration passes.
+// threshold-refinement calibration passes, using all cores.
 func Quantize(net *Network, train *Dataset) (*QuantizedNet, error) {
+	return quantizeWorkers(net, train, 0)
+}
+
+func quantizeWorkers(net *Network, train *Dataset, workers int) (*QuantizedNet, error) {
 	cfg := quant.DefaultSearchConfig()
+	cfg.Workers = workers
 	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := quant.RecalibrateFC(q, train, quant.DefaultRecalibrateConfig()); err != nil {
+	ccfg := quant.DefaultRecalibrateConfig()
+	ccfg.Workers = workers
+	if err := quant.RecalibrateFC(q, train, ccfg); err != nil {
 		return nil, err
 	}
-	if _, err := quant.RefineThresholds(q, train, quant.DefaultRefineConfig()); err != nil {
+	rcfg := quant.DefaultRefineConfig()
+	rcfg.Workers = workers
+	if _, err := quant.RefineThresholds(q, train, rcfg); err != nil {
 		return nil, err
 	}
-	if err := quant.RecalibrateFC(q, train, quant.DefaultRecalibrateConfig()); err != nil {
+	if err := quant.RecalibrateFC(q, train, ccfg); err != nil {
 		return nil, err
 	}
 	return q, nil
@@ -150,6 +160,10 @@ type PipelineConfig struct {
 	Seed         int64
 	MaxCrossbar  int
 	Log          io.Writer
+	// Workers bounds the parallel engine for every stage (0 = all
+	// cores, 1 = the serial path); results are bit-identical for any
+	// worker count.
+	Workers int
 }
 
 // DefaultPipelineConfig runs Network 2 at a laptop-friendly size.
@@ -185,6 +199,9 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	if cfg.NetworkID < 1 || cfg.NetworkID > 3 {
 		return nil, fmt.Errorf("sei: network id %d outside [1,3]", cfg.NetworkID)
 	}
+	if err := par.Validate(cfg.Workers); err != nil {
+		return nil, fmt.Errorf("sei: %w", err)
+	}
 	train, test := SyntheticSplit(cfg.TrainSamples, cfg.TestSamples, cfg.Seed)
 	logf := func(format string, args ...any) {
 		if cfg.Log != nil {
@@ -193,24 +210,25 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	}
 	logf("sei: training network %d on %d samples\n", cfg.NetworkID, train.Len())
 	net := TrainTableNetwork(cfg.NetworkID, train, cfg.Epochs, cfg.Seed)
-	res := &PipelineResult{FloatError: EvaluateNetwork(net, test)}
+	res := &PipelineResult{FloatError: nn.ErrorRateWorkers(net, test, cfg.Workers)}
 	logf("sei: float error %.4f; quantizing\n", res.FloatError)
 
-	q, err := Quantize(net, train)
+	q, err := quantizeWorkers(net, train, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	res.QuantError = EvaluateQuantized(q, test)
+	res.QuantError = q.ErrorRateWorkers(test, cfg.Workers)
 	logf("sei: quantized error %.4f; mapping to SEI\n", res.QuantError)
 
 	bcfg := seicore.DefaultSEIBuildConfig()
 	bcfg.Layer.MaxCrossbar = cfg.MaxCrossbar
 	bcfg.Orders = experiments.HomogenizedOrdersFor(q, cfg.MaxCrossbar, cfg.Seed)
+	bcfg.Workers = cfg.Workers
 	design, err := seicore.BuildSEI(q, train, bcfg, rand.New(rand.NewSource(cfg.Seed)))
 	if err != nil {
 		return nil, err
 	}
-	res.SEIError = nn.ClassifierErrorRate(design, test)
+	res.SEIError = nn.ClassifierErrorRateWorkers(design, test, cfg.Workers)
 	logf("sei: SEI hardware error %.4f; computing energy/area\n", res.SEIError)
 
 	geoms, err := arch.GeometryOf(q)
