@@ -1,8 +1,8 @@
-# Standard entry points; CI runs `make test race`.
+# Standard entry points; `make ci` mirrors .github/workflows/ci.yml.
 
 GO ?= go
 
-.PHONY: build test race bench bench-scaling vet fmt
+.PHONY: build test race bench bench-scaling vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,10 @@ vet:
 
 fmt:
 	gofmt -l -w .
+
+# Exactly what the GitHub Actions workflow runs.
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/obs ./internal/par

@@ -18,6 +18,7 @@ import (
 	"sei/internal/homog"
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/obs"
 	"sei/internal/power"
 	"sei/internal/quant"
 	"sei/internal/rram"
@@ -470,6 +471,33 @@ func BenchmarkSEIPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Predict(img)
+	}
+}
+
+// BenchmarkSEIPredictInstrumented is BenchmarkSEIPredict with a live
+// recorder attached: the delta between the two is the enabled-recorder
+// cost per classification. BenchmarkSEIPredict itself (nil recorder)
+// doubles as the disabled-overhead guard — the hot path pays one nil
+// check per hardware event.
+func BenchmarkSEIPredictInstrumented(b *testing.B) {
+	c := benchContext(b)
+	q := c.QuantizedCalibrated(2)
+	cfg := seicore.DefaultSEIBuildConfig()
+	cfg.DynamicThreshold = false
+	d, err := seicore.BuildSEI(q, nil, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := obs.New()
+	d.Instrument(rec)
+	img := c.Test.Images[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Predict(img)
+	}
+	b.StopTimer()
+	if rec.CounterValues()[obs.HWMVMOps] == 0 {
+		b.Fatal("instrumented run recorded no MVM ops")
 	}
 }
 

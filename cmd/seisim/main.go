@@ -24,57 +24,91 @@
 //	pipeline    one end-to-end train→quantize→SEI run
 //	all         every table and figure, in paper order
 //
+// Observability: -metrics writes a JSON run report (phase spans,
+// hardware counters, skipped points), -trace dumps the same report as
+// text to stderr, -progress prints live progress lines, -prom writes
+// Prometheus text format, -pprof serves net/http/pprof. Counter values
+// are identical for any -workers setting.
+//
 // The synthetic MNIST substitute is used unless $MNIST_DIR points at
 // the real IDX files. Results are deterministic for a fixed -seed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"sei"
 	"sei/internal/arch"
+	"sei/internal/cliutil"
 	"sei/internal/experiments"
 	"sei/internal/hdl"
-	"sei/internal/par"
 	"sei/internal/power"
 	"sei/internal/seicore"
 )
 
-func main() {
+// options is the parsed command line.
+type options struct {
+	what  string
+	cfg   experiments.Config
+	netID int
+	sizes []int
+	quiet bool
+	obs   cliutil.ObsFlags
+}
+
+// parseFlags parses args (without the program name) into options. It
+// returns cliutil.ErrUsage for failures the flag package has already
+// reported on stderr, flag.ErrHelp for -h, and a descriptive error —
+// including the unified -workers message — otherwise.
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	opt := &options{}
+	fs := flag.NewFlagSet("seisim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		train   = flag.Int("train", 3000, "training samples")
-		test    = flag.Int("test", 600, "test samples")
-		epochs  = flag.Int("epochs", 4, "training epochs")
-		seed    = flag.Int64("seed", 1, "global random seed")
-		search  = flag.Int("search", 400, "Algorithm-1 threshold-search samples")
-		orders  = flag.Int("orders", 20, "random orders sampled in table4 (paper: 500)")
-		calib   = flag.Int("calib", 50, "dynamic-threshold calibration images")
-		cache   = flag.String("cache", "", "model cache directory (empty = no cache)")
-		quick   = flag.Bool("quick", false, "use the small smoke-test sizing")
-		net     = flag.Int("net", 1, "network id for fig1/table4/homog (1-3)")
-		sizes   = flag.String("sizes", "512,256", "comma-separated crossbar sizes for table4")
-		quiet   = flag.Bool("quiet", false, "suppress progress logging")
-		workers = flag.Int("workers", 0, "parallel evaluation workers (0 = all cores, 1 = serial); results are identical for any value")
+		train   = fs.Int("train", 3000, "training samples")
+		test    = fs.Int("test", 600, "test samples")
+		epochs  = fs.Int("epochs", 4, "training epochs")
+		seed    = fs.Int64("seed", 1, "global random seed")
+		search  = fs.Int("search", 400, "Algorithm-1 threshold-search samples")
+		orders  = fs.Int("orders", 20, "random orders sampled in table4 (paper: 500)")
+		calib   = fs.Int("calib", 50, "dynamic-threshold calibration images")
+		cache   = fs.String("cache", "", "model cache directory (empty = no cache)")
+		quick   = fs.Bool("quick", false, "use the small smoke-test sizing")
+		net     = fs.Int("net", 1, "network id for fig1/table4/homog (1-3)")
+		sizes   = fs.String("sizes", "512,256", "comma-separated crossbar sizes for table4")
+		quiet   = fs.Bool("quiet", false, "suppress progress logging")
+		workers = fs.Int("workers", 0, cliutil.WorkersUsage)
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: seisim [flags] <fig1|table1..5|homog|efficiency|timing|map|vgg|verilog|pipeline|all>\n\n")
-		flag.PrintDefaults()
+	opt.obs.Register(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: seisim [flags] <fig1|table1..5|homog|efficiency|timing|map|vgg|verilog|pipeline|all>\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil, err
+		}
+		return nil, cliutil.ErrUsage
 	}
-	if err := par.Validate(*workers); err != nil {
-		fmt.Fprintf(os.Stderr, "seisim: %v\n", err)
-		os.Exit(2)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return nil, cliutil.ErrUsage
+	}
+	if err := cliutil.CheckWorkers(*workers); err != nil {
+		return nil, err
+	}
+	parsedSizes, err := parseSizes(*sizes)
+	if err != nil {
+		return nil, err
 	}
 
-	cfg := experiments.Config{
+	opt.cfg = experiments.Config{
 		TrainSamples:  *train,
 		TestSamples:   *test,
 		Epochs:        *epochs,
@@ -86,21 +120,45 @@ func main() {
 		Workers:       *workers,
 	}
 	if *quick {
-		cfg = experiments.QuickConfig()
-		cfg.CacheDir = *cache
-		cfg.Workers = *workers
+		opt.cfg = experiments.QuickConfig()
+		opt.cfg.CacheDir = *cache
+		opt.cfg.Workers = *workers
 	}
-	if !*quiet {
-		cfg.Log = os.Stderr
-	}
+	opt.what = fs.Arg(0)
+	opt.netID = *net
+	opt.sizes = parsedSizes
+	opt.quiet = *quiet
+	return opt, nil
+}
 
-	if err := run(flag.Arg(0), cfg, *net, parseSizes(*sizes)); err != nil {
+func main() {
+	opt, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		if !errors.Is(err, cliutil.ErrUsage) {
+			fmt.Fprintf(os.Stderr, "seisim: %v\n", err)
+		}
+		os.Exit(2)
+	}
+	if !opt.quiet {
+		opt.cfg.Log = os.Stderr
+	}
+	rec := opt.obs.Recorder()
+	opt.cfg.Obs = rec
+
+	if err := run(opt.what, opt.cfg, opt.netID, opt.sizes); err != nil {
+		fmt.Fprintf(os.Stderr, "seisim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := opt.obs.Finish(rec, opt.what, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "seisim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func parseSizes(s string) []int {
+func parseSizes(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -109,12 +167,11 @@ func parseSizes(s string) []int {
 		}
 		v, err := strconv.Atoi(part)
 		if err != nil || v <= 0 {
-			fmt.Fprintf(os.Stderr, "seisim: bad size %q\n", part)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad size %q", part)
 		}
 		out = append(out, v)
 	}
-	return out
+	return out, nil
 }
 
 func run(what string, cfg experiments.Config, netID int, sizes []int) error {
@@ -131,6 +188,7 @@ func run(what string, cfg experiments.Config, netID int, sizes []int) error {
 		pcfg.Seed = cfg.Seed
 		pcfg.Log = cfg.Log
 		pcfg.Workers = cfg.Workers
+		pcfg.Obs = cfg.Obs
 		res, err := sei.RunPipeline(pcfg)
 		if err != nil {
 			return err

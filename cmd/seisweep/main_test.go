@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	opt, err := parseFlags(nil, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	if opt.netID != 2 || opt.workers != 0 || opt.accuracy {
+		t.Errorf("defaults = %+v", opt)
+	}
+	if got, want := opt.sizes, []int{512, 256, 128}; len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Errorf("sizes = %v, want %v", got, want)
+	}
+	if len(opt.sigmas) != 1 || opt.sigmas[0] != 0.02 {
+		t.Errorf("sigmas = %v, want [0.02]", opt.sigmas)
+	}
+	if opt.obs.Enabled() {
+		t.Error("observability enabled by default")
+	}
+}
+
+func TestParseFlagsObservability(t *testing.T) {
+	var buf bytes.Buffer
+	opt, err := parseFlags([]string{"-metrics", "-", "-trace", "-accuracy"}, &buf)
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	if opt.obs.Metrics != "-" || !opt.obs.Trace || !opt.accuracy {
+		t.Errorf("flags = %+v obs = %+v", opt, opt.obs)
+	}
+}
+
+// TestParseFlagsWorkersValidation pins the unified -workers error both
+// CLIs share (see cmd/seisim for its twin).
+func TestParseFlagsWorkersValidation(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := parseFlags([]string{"-workers", "-2"}, &buf)
+	if err == nil {
+		t.Fatal("parseFlags accepted -workers -2")
+	}
+	want := "invalid -workers -2: must be 0 (all cores), 1 (serial), or a positive worker count"
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestParseFlagsBadLists(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := parseFlags([]string{"-bits", "4,x"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "bad int") {
+		t.Errorf("bits error = %v, want bad int", err)
+	}
+	if _, err := parseFlags([]string{"-sigmas", "0.02,?"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "bad float") {
+		t.Errorf("sigmas error = %v, want bad float", err)
+	}
+}

@@ -8,10 +8,12 @@ package sei
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/obs"
 	"sei/internal/quant"
 	"sei/internal/seicore"
 )
@@ -75,6 +77,108 @@ func TestPipelineWorkerCountInvariant(t *testing.T) {
 		}
 		if got.seiErr != serial.seiErr {
 			t.Errorf("workers=%d: SEI error %v != serial %v", workers, got.seiErr, serial.seiErr)
+		}
+	}
+}
+
+// Instrumentation must not perturb results, and the recorded counters
+// must themselves be worker-count independent: every counter is an
+// integer event count that depends only on the work performed
+// (DESIGN.md §9). Workers=0 (all cores) rides along with the explicit
+// counts because the engine's chunk boundaries don't depend on the
+// resolved worker count.
+func TestInstrumentedPipelineWorkerCountInvariant(t *testing.T) {
+	train, test := mnist.SyntheticSplit(300, 120, 7)
+	net := nn.NewTableNetwork(1, 7)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Seed = 7
+	nn.Train(net, train, tcfg)
+
+	type result struct {
+		floatErr float64
+		quantErr float64
+		seiErr   float64
+		counters map[string]int64
+	}
+	run := func(workers int) result {
+		rec := obs.New()
+		var res result
+		res.floatErr = nn.ErrorRateObs(rec, net, test, workers)
+
+		scfg := quant.DefaultSearchConfig()
+		scfg.Samples = 120
+		scfg.Workers = workers
+		scfg.Obs = rec
+		q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, scfg)
+		if err != nil {
+			t.Fatalf("workers=%d: quantize: %v", workers, err)
+		}
+		res.quantErr = q.ErrorRateObs(rec, test, workers)
+
+		bcfg := seicore.DefaultSEIBuildConfig()
+		bcfg.Layer.MaxCrossbar = 128 // force a split so calibration runs
+		bcfg.CalibImages = 20
+		bcfg.Workers = workers
+		bcfg.Obs = rec
+		d, err := seicore.BuildSEI(q, train, bcfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("workers=%d: build SEI: %v", workers, err)
+		}
+		res.seiErr = nn.ClassifierErrorRateObs(rec, d, test, workers)
+		res.counters = rec.CounterValues()
+		return res
+	}
+
+	serial := run(1)
+	plain := func() result {
+		var res result
+		res.floatErr = nn.ErrorRateWorkers(net, test, 1)
+		scfg := quant.DefaultSearchConfig()
+		scfg.Samples = 120
+		scfg.Workers = 1
+		q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, scfg)
+		if err != nil {
+			t.Fatalf("plain quantize: %v", err)
+		}
+		res.quantErr = q.ErrorRateWorkers(test, 1)
+		bcfg := seicore.DefaultSEIBuildConfig()
+		bcfg.Layer.MaxCrossbar = 128
+		bcfg.CalibImages = 20
+		bcfg.Workers = 1
+		d, err := seicore.BuildSEI(q, train, bcfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("plain build SEI: %v", err)
+		}
+		res.seiErr = nn.ClassifierErrorRateWorkers(d, test, 1)
+		return res
+	}()
+	if serial.floatErr != plain.floatErr || serial.quantErr != plain.quantErr || serial.seiErr != plain.seiErr {
+		t.Errorf("instrumented run %+v != uninstrumented %+v: recording perturbed results",
+			serial, plain)
+	}
+
+	hwCounters := 0
+	for _, name := range []string{
+		obs.HWMVMOps, obs.HWSAComparisons, obs.HWColumnActivations,
+		obs.HWActiveInputs, obs.HWORPoolReductions,
+	} {
+		if serial.counters[name] > 0 {
+			hwCounters++
+		}
+	}
+	if hwCounters < 5 {
+		t.Errorf("only %d hardware counters nonzero, want 5; counters = %v", hwCounters, serial.counters)
+	}
+
+	for _, workers := range []int{0, 2, 8} {
+		got := run(workers)
+		if got.floatErr != serial.floatErr || got.quantErr != serial.quantErr || got.seiErr != serial.seiErr {
+			t.Errorf("workers=%d: instrumented results %+v != serial %+v", workers, got, serial)
+		}
+		if !reflect.DeepEqual(got.counters, serial.counters) {
+			t.Errorf("workers=%d: counters diverge from serial:\n got  %v\n want %v",
+				workers, got.counters, serial.counters)
 		}
 	}
 }

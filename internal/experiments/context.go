@@ -18,6 +18,7 @@ import (
 
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/obs"
 	"sei/internal/par"
 	"sei/internal/quant"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	// (0 = all cores, 1 = the serial path). All results are
 	// bit-identical for every worker count; only wall-clock changes.
 	Workers int
+	// Obs, when set, records phase spans, hardware-event counters and
+	// progress for every harness run under this config; nil disables
+	// recording. Instrumentation never feeds back into computation, so
+	// recorded runs produce bit-identical results to unrecorded ones.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns the standard experiment sizing.
@@ -165,8 +171,12 @@ func (c *Context) Network(id int) *nn.Network {
 	tcfg.Seed = c.Cfg.Seed
 	tcfg.Log = c.Cfg.Log
 	tcfg.Workers = c.Cfg.Workers
+	tcfg.Obs = c.Cfg.Obs
 	c.logf("experiments: training %s on %d samples, %d epochs\n", net.Name, c.Train.Len(), tcfg.Epochs)
+	sp := c.Cfg.Obs.StartSpan(fmt.Sprintf("train/net%d", id))
 	nn.Train(net, c.Train, tcfg)
+	sp.AddSamples(int64(c.Train.Len() * tcfg.Epochs))
+	sp.End()
 	if path := c.cachePath("net", id); path != "" {
 		if err := nn.SaveFile(net, path); err != nil {
 			c.logf("experiments: cache write failed: %v\n", err)
@@ -186,6 +196,8 @@ func (c *Context) Quantized(id int) *quant.QuantizedNet {
 	if path := c.cachePath("quant", id); path != "" {
 		if q, err := quant.LoadFile(path); err == nil {
 			c.logf("experiments: loaded quantized net %d from cache\n", id)
+			// gob skips the unexported recorder hook; re-attach it.
+			q.Instrument(c.Cfg.Obs)
 			c.quants[id] = q
 			return q
 		}
@@ -194,8 +206,11 @@ func (c *Context) Quantized(id int) *quant.QuantizedNet {
 	scfg := quant.DefaultSearchConfig()
 	scfg.Samples = c.Cfg.SearchSamples
 	scfg.Workers = c.Cfg.Workers
+	scfg.Obs = c.Cfg.Obs
 	c.logf("experiments: quantizing %s (Algorithm 1)\n", net.Name)
+	sp := c.Cfg.Obs.StartSpan(fmt.Sprintf("quantize/net%d", id))
 	q, report, err := quant.QuantizeNetwork(net, c.Train, []int{1, 28, 28}, scfg)
+	sp.End()
 	if err != nil {
 		panic(fmt.Sprintf("experiments: quantizing network %d: %v", id, err))
 	}
@@ -220,6 +235,7 @@ func (c *Context) QuantizedCalibrated(id int) *quant.QuantizedNet {
 	}
 	if path := c.cachePath("quantcal", id); path != "" {
 		if q, err := quant.LoadFile(path); err == nil {
+			q.Instrument(c.Cfg.Obs)
 			c.quantsCal[id] = q
 			return q
 		}
@@ -227,14 +243,19 @@ func (c *Context) QuantizedCalibrated(id int) *quant.QuantizedNet {
 	// Re-run extraction so the plain quantized model is not mutated.
 	base := c.Quantized(id)
 	clone := cloneQuantized(base)
+	clone.Instrument(c.Cfg.Obs)
+	sp := c.Cfg.Obs.StartSpan(fmt.Sprintf("calibrate/net%d", id))
+	defer sp.End()
 	ccfg := quant.DefaultRecalibrateConfig()
 	ccfg.Workers = c.Cfg.Workers
+	ccfg.Obs = c.Cfg.Obs
 	if err := quant.RecalibrateFC(clone, c.Train, ccfg); err != nil {
 		panic(fmt.Sprintf("experiments: recalibrating network %d: %v", id, err))
 	}
 	rcfg := quant.DefaultRefineConfig()
 	rcfg.Samples = c.Cfg.SearchSamples
 	rcfg.Workers = c.Cfg.Workers
+	rcfg.Obs = c.Cfg.Obs
 	if _, err := quant.RefineThresholds(clone, c.Train, rcfg); err != nil {
 		panic(fmt.Sprintf("experiments: refining network %d: %v", id, err))
 	}
@@ -269,7 +290,7 @@ func (c *Context) FloatError(id int) float64 {
 	if e, ok := c.floatErr[id]; ok {
 		return e
 	}
-	e := nn.ErrorRateWorkers(c.Network(id), c.Test, c.Cfg.Workers)
+	e := nn.ErrorRateObs(c.Cfg.Obs, c.Network(id), c.Test, c.Cfg.Workers)
 	c.floatErr[id] = e
 	return e
 }
@@ -279,7 +300,7 @@ func (c *Context) QuantError(id int) float64 {
 	if e, ok := c.quantErr[id]; ok {
 		return e
 	}
-	e := c.Quantized(id).ErrorRateWorkers(c.Test, c.Cfg.Workers)
+	e := c.Quantized(id).ErrorRateObs(c.Cfg.Obs, c.Test, c.Cfg.Workers)
 	c.quantErr[id] = e
 	return e
 }
@@ -290,7 +311,7 @@ func (c *Context) QuantCalibratedError(id int) float64 {
 	if e, ok := c.quantCalErr[id]; ok {
 		return e
 	}
-	e := c.QuantizedCalibrated(id).ErrorRateWorkers(c.Test, c.Cfg.Workers)
+	e := c.QuantizedCalibrated(id).ErrorRateObs(c.Cfg.Obs, c.Test, c.Cfg.Workers)
 	c.quantCalErr[id] = e
 	return e
 }

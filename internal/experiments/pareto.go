@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"sei/internal/arch"
 	"sei/internal/nn"
@@ -62,9 +63,12 @@ func ParetoStudy(c *Context, networkID int, bitsList []int, sigmas []float64) ([
 	// The grid points are independent designs: build and evaluate each
 	// in its own slot, evaluation on the serial inner path. Each point
 	// seeds its own RNG, so results match the serial sweep exactly.
+	sp := c.Cfg.Obs.StartSpan("evaluate/pareto")
+	defer sp.End()
 	points := make([]ParetoPoint, len(bitsList)*len(sigmas))
 	errs := make([]error, len(points))
-	par.ForEachChunk(c.Cfg.Workers, len(points), 1, func(ch par.Chunk) {
+	var done atomic.Int64
+	par.ForEachChunkRec(c.Cfg.Obs, c.Cfg.Workers, len(points), 1, func(ch par.Chunk) {
 		i := ch.Lo
 		bits, sigma := bitsList[i/len(sigmas)], sigmas[i%len(sigmas)]
 		model := rram.IdealDeviceModel(bits)
@@ -74,12 +78,14 @@ func ParetoStudy(c *Context, networkID int, bitsList []int, sigmas []float64) ([
 			errs[i] = err
 			return
 		}
+		design.Instrument(c.Cfg.Obs)
 		points[i] = ParetoPoint{
 			DeviceBits: bits,
 			Sigma:      sigma,
-			ErrorRate:  nn.ClassifierErrorRateWorkers(design, test, 1),
+			ErrorRate:  nn.ClassifierErrorRateObs(c.Cfg.Obs, design, test, 1),
 			EnergyUJ:   energyFor[i/len(sigmas)],
 		}
+		c.Cfg.Obs.Progress("pareto points", int(done.Add(1)), len(points))
 	})
 	for _, err := range errs {
 		if err != nil {

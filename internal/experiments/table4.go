@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"sort"
 
@@ -149,6 +150,7 @@ func seiError(c *Context, q *quant.QuantizedNet, maxSize int, orders [][]int, dy
 	cfg.DynamicThreshold = dynamic
 	cfg.CalibImages = c.Cfg.CalibImages
 	cfg.Workers = workers
+	cfg.Obs = c.Cfg.Obs
 	var train = c.Train
 	if !dynamic {
 		train = nil
@@ -157,12 +159,14 @@ func seiError(c *Context, q *quant.QuantizedNet, maxSize int, orders [][]int, dy
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building SEI design: %v", err))
 	}
-	return nn.ClassifierErrorRateWorkers(design, c.Test, workers)
+	return nn.ClassifierErrorRateObs(c.Cfg.Obs, design, c.Test, workers)
 }
 
 // Table4 runs the splitting study (paper: Network 1 at 512 and 256).
 func Table4(c *Context, networkID int, sizes []int) *Table4Result {
 	q := c.QuantizedCalibrated(networkID)
+	sp := c.Cfg.Obs.StartSpan("evaluate/table4")
+	defer sp.End()
 	res := &Table4Result{NetworkID: networkID}
 	for _, size := range sizes {
 		col := Table4Column{
@@ -188,11 +192,14 @@ func Table4(c *Context, networkID int, sizes []int) *Table4Result {
 			randOrders[r] = orders
 		}
 		randErr := make([]float64, c.Cfg.RandomOrders)
-		par.ForEachChunk(c.Cfg.Workers, c.Cfg.RandomOrders, 1, func(ch par.Chunk) {
+		var done atomic.Int64
+		par.ForEachChunkRec(c.Cfg.Obs, c.Cfg.Workers, c.Cfg.RandomOrders, 1, func(ch par.Chunk) {
 			r := ch.Lo
 			randErr[r] = seiError(c, q, size, randOrders[r], false, c.Cfg.Seed+int64(r), 1)
 			c.logf("experiments: table4 net%d @%d random order %d/%d: err %.4f\n",
 				networkID, size, r+1, c.Cfg.RandomOrders, randErr[r])
+			c.Cfg.Obs.Progress(fmt.Sprintf("table4@%d random orders", size),
+				int(done.Add(1)), c.Cfg.RandomOrders)
 		})
 		for _, e := range randErr {
 			if e < col.RandomMin {

@@ -69,6 +69,9 @@ func Table5(c *Context, points []Table5Point) (*Table5Result, error) {
 		c.oneBitError(pt.NetworkID)
 	}
 
+	sp := c.Cfg.Obs.StartSpan("evaluate/table5")
+	defer sp.End()
+
 	inner := par.Resolve(c.Cfg.Workers) / len(points)
 	if inner < 1 {
 		inner = 1
@@ -78,7 +81,7 @@ func Table5(c *Context, points []Table5Point) (*Table5Result, error) {
 		err  error
 	}
 	perPoint := make([]pointResult, len(points))
-	par.ForEachChunk(c.Cfg.Workers, len(points), 1, func(ch par.Chunk) {
+	par.ForEachChunkRec(c.Cfg.Obs, c.Cfg.Workers, len(points), 1, func(ch par.Chunk) {
 		pt := points[ch.Lo]
 		pr := &perPoint[ch.Lo]
 		q := c.QuantizedCalibrated(pt.NetworkID)
@@ -150,7 +153,8 @@ func (c *Context) dacadcError(id int) float64 {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building DAC+ADC design: %v", err))
 	}
-	e := nn.ClassifierErrorRateWorkers(design, c.Test, c.Cfg.Workers)
+	design.Instrument(c.Cfg.Obs)
+	e := nn.ClassifierErrorRateObs(c.Cfg.Obs, design, c.Test, c.Cfg.Workers)
 	c.floatErr[key] = e
 	return e
 }
@@ -166,7 +170,8 @@ func (c *Context) oneBitError(id int) float64 {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building 1-bit+ADC design: %v", err))
 	}
-	e := nn.ClassifierErrorRateWorkers(design, c.Test, c.Cfg.Workers)
+	design.Instrument(c.Cfg.Obs)
+	e := nn.ClassifierErrorRateObs(c.Cfg.Obs, design, c.Test, c.Cfg.Workers)
 	c.quantErr[key] = e
 	return e
 }

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"sei/internal/mnist"
+	"sei/internal/obs"
+	"sei/internal/par"
+)
+
+// MetricEvalImages counts images evaluated by the error-rate paths. It
+// is accumulated through a per-chunk ShardedCounter merged in
+// chunk-index order, so the total — like the error rate itself — is
+// bit-identical for every worker count.
+const MetricEvalImages = "eval_images"
+
+// ClassifierErrorRateObs is ClassifierErrorRateWorkers with
+// instrumentation: engine scheduling counters plus the eval_images
+// sharded counter on rec. A nil rec records nothing and adds only
+// nil-check overhead.
+func ClassifierErrorRateObs(rec *obs.Recorder, c Classifier, data *mnist.Dataset, workers int) float64 {
+	w := evalWorkers(c, workers)
+	n := data.Len()
+	sc := rec.Sharded(MetricEvalImages, par.NumChunks(n, par.DefaultChunkSize))
+	wrong := par.MapReduceRec(rec, w, n, par.DefaultChunkSize,
+		func(ch par.Chunk) int {
+			sc.Add(ch.Index, int64(ch.Hi-ch.Lo))
+			eval := chunkEvaluator(c, ch)
+			local := 0
+			for i := ch.Lo; i < ch.Hi; i++ {
+				if eval.Predict(data.Images[i]) != data.Labels[i] {
+					local++
+				}
+			}
+			return local
+		},
+		func(a, b int) int { return a + b }, 0)
+	sc.Merge()
+	return float64(wrong) / float64(n)
+}
+
+// ErrorRateObs evaluates a float network with instrumentation (see
+// ClassifierErrorRateObs).
+func ErrorRateObs(rec *obs.Recorder, net *Network, data *mnist.Dataset, workers int) float64 {
+	return ClassifierErrorRateObs(rec, net, data, workers)
+}

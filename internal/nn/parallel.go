@@ -49,20 +49,7 @@ func evalWorkers(c Classifier, workers int) int {
 // counting is order-independent and any evaluator noise is drawn from
 // per-chunk seeded streams.
 func ClassifierErrorRateWorkers(c Classifier, data *mnist.Dataset, workers int) float64 {
-	w := evalWorkers(c, workers)
-	wrong := par.MapReduce(w, data.Len(), par.DefaultChunkSize,
-		func(ch par.Chunk) int {
-			eval := chunkEvaluator(c, ch)
-			local := 0
-			for i := ch.Lo; i < ch.Hi; i++ {
-				if eval.Predict(data.Images[i]) != data.Labels[i] {
-					local++
-				}
-			}
-			return local
-		},
-		func(a, b int) int { return a + b }, 0)
-	return float64(wrong) / float64(data.Len())
+	return ClassifierErrorRateObs(nil, c, data, workers)
 }
 
 // ErrorRateWorkers evaluates a float network on a dataset with the

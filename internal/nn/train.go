@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"sei/internal/mnist"
+	"sei/internal/obs"
 	"sei/internal/tensor"
 )
 
@@ -25,6 +26,10 @@ type TrainConfig struct {
 	// loop itself stays serial because SGD is order-dependent.
 	Val     *mnist.Dataset
 	Workers int
+
+	// Obs, when set, receives training counters (train_images,
+	// train_batches) and per-epoch progress; nil disables recording.
+	Obs *obs.Recorder
 }
 
 // DefaultTrainConfig returns settings that train the Table-2 networks
@@ -91,14 +96,17 @@ func Train(net *Network, data *mnist.Dataset, cfg TrainConfig) float64 {
 			}
 			epochLoss += batchLoss
 			seen += end - start
+			cfg.Obs.Counter("train_images").Add(int64(end - start))
+			cfg.Obs.Counter("train_batches").Add(1)
 		}
 		lastEpochLoss = epochLoss / float64(seen)
+		cfg.Obs.Progress("train/"+net.Name, epoch+1, cfg.Epochs)
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "nn: %s epoch %d/%d loss %.4f lr %.4f\n",
 				net.Name, epoch+1, cfg.Epochs, lastEpochLoss, lr)
 		}
 		if cfg.Val != nil && cfg.Val.Len() > 0 {
-			valErr := ErrorRateWorkers(net, cfg.Val, cfg.Workers)
+			valErr := ErrorRateObs(cfg.Obs, net, cfg.Val, cfg.Workers)
 			if cfg.Log != nil {
 				fmt.Fprintf(cfg.Log, "nn: %s epoch %d/%d val error %.2f%%\n",
 					net.Name, epoch+1, cfg.Epochs, 100*valErr)

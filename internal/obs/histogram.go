@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-boundary distribution of observed values.
+// Bucket counts are atomic integers: observations from parallel chunk
+// bodies commute, so bucket totals are identical for every worker
+// count. The running sum is exact for integer-valued observations
+// (which is all the simulator records — event counts per operation).
+// A nil Histogram ignores Observe.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; implicit +Inf appended
+	counts []atomic.Int64
+	sum    atomicFloat
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	if !sort.Float64sAreSorted(b) {
+		panic(fmt.Sprintf("obs: histogram bounds %v are not ascending", bounds))
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value into the first bucket whose upper bound is
+// ≥ v (the final bucket is +Inf).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// Bounds returns the configured upper bounds (without the implicit
+// +Inf bucket).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Counts returns the per-bucket counts; the final entry is the +Inf
+// bucket.
+func (h *Histogram) Counts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for _, c := range h.Counts() {
+		total += c
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.value()
+}
+
+// atomicFloat is a float64 accumulated with a CAS loop. Addition of
+// the integer-valued observations the simulator records is exact and
+// therefore commutative, keeping sums worker-count independent.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }

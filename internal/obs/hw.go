@@ -1,0 +1,93 @@
+package obs
+
+// Hardware-event metric names. The counts are logical simulator
+// events, independent of worker count and of wall time; README's
+// "Observability" section documents each one's exact semantics.
+const (
+	// HWMVMOps counts analog matrix-vector operations — one per
+	// crossbar block evaluation (a MergedLayer eval is one logical op;
+	// an SEI layer eval is K, one per split block).
+	HWMVMOps = "hw_mvm_ops"
+	// HWSAComparisons counts sense-amplifier threshold comparisons in
+	// SEI conv readout (K blocks × M columns per eval).
+	HWSAComparisons = "hw_sa_comparisons"
+	// HWColumnActivations counts crossbar column read-outs driven by
+	// MVMs (M columns per block evaluation).
+	HWColumnActivations = "hw_column_activations"
+	// HWActiveInputs counts input lines actually selected/driven
+	// (nonzero inputs per block evaluation) — the activity statistic
+	// behind the paper's data-dependent energy refinement.
+	HWActiveInputs = "hw_active_inputs"
+	// HWORPoolReductions counts OR-pool window reductions on the
+	// binarized data path (shared by the digital reference and the
+	// hardware simulators).
+	HWORPoolReductions = "hw_orpool_reductions"
+	// HWActiveInputsPerMVM is the histogram of selected input lines
+	// per block evaluation.
+	HWActiveInputsPerMVM = "hw_active_inputs_per_mvm"
+)
+
+// activeInputBounds buckets the per-MVM selected-line distribution in
+// powers of two up to the maximum crossbar height.
+var activeInputBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// HW is the pre-resolved bundle of simulator hardware counters.
+// Instrumented layers hold one pointer and pay a single nil check per
+// event when recording is disabled. All methods are no-ops on nil.
+type HW struct {
+	mvm, sa, col, active, orpool *Counter
+	activeHist                   *Histogram
+}
+
+func newHW(r *Recorder) *HW {
+	return &HW{
+		mvm:        r.Counter(HWMVMOps),
+		sa:         r.Counter(HWSAComparisons),
+		col:        r.Counter(HWColumnActivations),
+		active:     r.Counter(HWActiveInputs),
+		orpool:     r.Counter(HWORPoolReductions),
+		activeHist: r.Histogram(HWActiveInputsPerMVM, activeInputBounds),
+	}
+}
+
+// MVM records n analog matrix-vector operations.
+func (h *HW) MVM(n int64) {
+	if h == nil {
+		return
+	}
+	h.mvm.Add(n)
+}
+
+// SACompares records n sense-amplifier comparisons.
+func (h *HW) SACompares(n int64) {
+	if h == nil {
+		return
+	}
+	h.sa.Add(n)
+}
+
+// ColumnActivations records n crossbar column read-outs.
+func (h *HW) ColumnActivations(n int64) {
+	if h == nil {
+		return
+	}
+	h.col.Add(n)
+}
+
+// ActiveInputs records one block evaluation that selected n input
+// lines: the counter total and the per-MVM distribution.
+func (h *HW) ActiveInputs(n int64) {
+	if h == nil {
+		return
+	}
+	h.active.Add(n)
+	h.activeHist.Observe(float64(n))
+}
+
+// ORPool records n OR-pool window reductions.
+func (h *HW) ORPool(n int64) {
+	if h == nil {
+		return
+	}
+	h.orpool.Add(n)
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progressSink rate-limits per-label progress lines so long sweeps
+// report without flooding the terminal.
+type progressSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every time.Duration
+	last  map[string]time.Time
+	first map[string]time.Time
+}
+
+// EnableProgress makes Progress calls write rate-limited lines to w,
+// at most one per label per `every` (completions always print).
+// Progress output is operator feedback only: it never feeds back into
+// computation, so enabling it cannot perturb results.
+func (r *Recorder) EnableProgress(w io.Writer, every time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.progress = &progressSink{
+		w:     w,
+		every: every,
+		last:  map[string]time.Time{},
+		first: map[string]time.Time{},
+	}
+}
+
+// Progress reports done-of-total completion for a labelled stage. The
+// line includes percent complete and an ETA extrapolated from the
+// label's elapsed time. No-op unless EnableProgress was called.
+func (r *Recorder) Progress(label string, done, total int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	p := r.progress
+	now := r.now()
+	r.mu.Unlock()
+	if p == nil || total <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start, ok := p.first[label]
+	if !ok {
+		start = now
+		p.first[label] = now
+	}
+	finished := done >= total
+	if last, ok := p.last[label]; ok && !finished && now.Sub(last) < p.every {
+		return
+	}
+	p.last[label] = now
+	pct := 100 * float64(done) / float64(total)
+	line := fmt.Sprintf("obs: %s %d/%d (%.0f%%)", label, done, total, pct)
+	if !finished && done > 0 && now.After(start) {
+		eta := time.Duration(float64(now.Sub(start)) / float64(done) * float64(total-done))
+		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+	}
+	fmt.Fprintln(p.w, line)
+}

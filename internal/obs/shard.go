@@ -1,0 +1,45 @@
+package obs
+
+// ShardedCounter accumulates increments in per-chunk shards and folds
+// them into a named counter strictly in chunk-index order. Atomic adds
+// already make plain Counter totals worker-count independent (integer
+// addition commutes); the sharded form additionally makes the merge
+// *order* deterministic, which is the contract future non-commutative
+// aggregations must follow, and it keeps chunk bodies free of even
+// atomic contention (each chunk owns its slot, like the engine's
+// per-index result slots). A nil ShardedCounter ignores every method.
+type ShardedCounter struct {
+	c      *Counter
+	shards []int64
+}
+
+// Sharded returns a counter with one shard per work chunk. Chunk
+// bodies call Add with their chunk index; the caller calls Merge after
+// the parallel region completes.
+func (r *Recorder) Sharded(name string, shards int) *ShardedCounter {
+	if r == nil {
+		return nil
+	}
+	return &ShardedCounter{c: r.Counter(name), shards: make([]int64, shards)}
+}
+
+// Add increments shard's slot by n. Safe for concurrent use as long as
+// each shard index is owned by one goroutine at a time — exactly the
+// engine's chunk ownership rule.
+func (s *ShardedCounter) Add(shard int, n int64) {
+	if s == nil {
+		return
+	}
+	s.shards[shard] += n
+}
+
+// Merge folds the shards into the underlying counter in index order.
+// Call once, after the parallel region's barrier.
+func (s *ShardedCounter) Merge() {
+	if s == nil {
+		return
+	}
+	for _, v := range s.shards {
+		s.c.Add(v)
+	}
+}

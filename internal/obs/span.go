@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span is one node of the hierarchical phase tree (train → quantize →
+// build → calibrate → evaluate). Spans measure wall time and sample
+// throughput of *serial orchestration phases*: StartSpan/End call
+// time.Now and manipulate the recorder's current-span stack, so they
+// must never run inside parallel chunk bodies (DESIGN.md §9 — chunk
+// bodies record only scheduling-independent event counts). A nil Span
+// ignores every method.
+type Span struct {
+	rec  *Recorder
+	Name string
+
+	parent   *Span
+	children []*Span
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	samples  atomic.Int64
+}
+
+// StartSpan opens a child of the current span and makes it current.
+// End it with Span.End; spans form a proper nesting (the last started
+// unended span is closed first).
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp := &Span{rec: r, Name: name, parent: r.cur, start: r.now()}
+	r.cur.children = append(r.cur.children, sp)
+	r.cur = sp
+	return sp
+}
+
+// AddSamples attributes n processed samples to the span; exporters
+// report samples and samples/s.
+func (s *Span) AddSamples(n int64) {
+	if s == nil {
+		return
+	}
+	s.samples.Add(n)
+}
+
+// End closes the span, recording its wall time, and makes its parent
+// current. Ending a span that is not current also closes any unended
+// descendants (they keep their own wall time up to this End).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.ended {
+		return
+	}
+	now := r.now()
+	for cur := r.cur; cur != nil && cur != r.root; cur = cur.parent {
+		if !cur.ended {
+			cur.ended = true
+			cur.dur = now.Sub(cur.start)
+		}
+		if cur == s {
+			r.cur = cur.parent
+			return
+		}
+	}
+	// s was not on the current stack (already-popped subtree); just
+	// close it.
+	s.ended = true
+	s.dur = now.Sub(s.start)
+}
+
+// Duration returns the span's wall time — the time so far when the
+// span has not ended.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return s.durationLocked(r.now())
+}
+
+func (s *Span) durationLocked(now time.Time) time.Duration {
+	if s.ended {
+		return s.dur
+	}
+	return now.Sub(s.start)
+}
+
+// Samples returns the samples attributed so far.
+func (s *Span) Samples() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.samples.Load()
+}

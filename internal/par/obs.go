@@ -1,0 +1,59 @@
+package par
+
+import "sei/internal/obs"
+
+// Engine scheduling counters. Region/chunk/item counts are functions of
+// (n, chunkSize) alone — the worker count only changes which goroutine
+// runs a chunk — so instrumented totals are identical for every value
+// of Workers.
+const (
+	// MetricRegions counts parallel regions entered (one per
+	// ForEachChunkRec-family call with n > 0).
+	MetricRegions = "par_regions"
+	// MetricChunks counts work chunks scheduled across all regions.
+	MetricChunks = "par_chunks"
+	// MetricItems counts work items (indices) covered by those chunks.
+	MetricItems = "par_items"
+)
+
+// recordRegion counts one parallel region on the calling goroutine,
+// before any chunk runs.
+func recordRegion(rec *obs.Recorder, n, chunkSize int) {
+	if rec == nil || n <= 0 {
+		return
+	}
+	rec.Counter(MetricRegions).Add(1)
+	rec.Counter(MetricChunks).Add(int64(numChunks(n, chunkSize)))
+	rec.Counter(MetricItems).Add(int64(n))
+}
+
+// ForEachChunkRec is ForEachChunk plus engine scheduling counters on
+// rec (nil rec records nothing).
+func ForEachChunkRec(rec *obs.Recorder, workers, n, chunkSize int, fn func(Chunk)) {
+	recordRegion(rec, n, chunkSize)
+	ForEachChunk(workers, n, chunkSize, fn)
+}
+
+// ForEachRec is ForEach plus engine scheduling counters on rec.
+func ForEachRec(rec *obs.Recorder, workers, n int, fn func(i int)) {
+	recordRegion(rec, n, DefaultChunkSize)
+	ForEach(workers, n, fn)
+}
+
+// MapChunksRec is MapChunks plus engine scheduling counters on rec.
+func MapChunksRec[T any](rec *obs.Recorder, workers, n, chunkSize int, fn func(Chunk) T) []T {
+	recordRegion(rec, n, chunkSize)
+	return MapChunks(workers, n, chunkSize, fn)
+}
+
+// MapReduceRec is MapReduce plus engine scheduling counters on rec.
+func MapReduceRec[T any](rec *obs.Recorder, workers, n, chunkSize int, mapper func(Chunk) T, reduce func(acc, v T) T, init T) T {
+	recordRegion(rec, n, chunkSize)
+	return MapReduce(workers, n, chunkSize, mapper, reduce, init)
+}
+
+// CountRec is Count plus engine scheduling counters on rec.
+func CountRec(rec *obs.Recorder, workers, n int, pred func(i int) bool) int {
+	recordRegion(rec, n, DefaultChunkSize)
+	return Count(workers, n, pred)
+}

@@ -68,6 +68,13 @@ func ChunkSeed(base int64, chunk int) int64 {
 	return int64(z)
 }
 
+// NumChunks returns the chunk count for n items at the given size — the
+// shard count callers pass to obs.Recorder.Sharded so per-chunk shards
+// line up one-to-one with Chunk.Index.
+func NumChunks(n, chunkSize int) int {
+	return numChunks(n, chunkSize)
+}
+
 // numChunks returns the chunk count for n items at the given size.
 func numChunks(n, chunkSize int) int {
 	if chunkSize <= 0 {

@@ -3,6 +3,7 @@ package quant
 import (
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/obs"
 )
 
 // QuantizeNetwork is the end-to-end Section-3 pipeline: extract the
@@ -14,6 +15,7 @@ func QuantizeNetwork(net *nn.Network, train *mnist.Dataset, inShape []int, cfg S
 	if err != nil {
 		return nil, nil, err
 	}
+	q.Instrument(cfg.Obs)
 	report, err := SearchThresholds(q, train, cfg)
 	if err != nil {
 		return nil, nil, err
@@ -36,4 +38,12 @@ func (q *QuantizedNet) ErrorRate(data *mnist.Dataset) float64 {
 // count.
 func (q *QuantizedNet) ErrorRateWorkers(data *mnist.Dataset, workers int) float64 {
 	return nn.ClassifierErrorRateWorkers(q, data, workers)
+}
+
+// ErrorRateObs evaluates the digital binarized network with
+// instrumentation: eval_images and engine scheduling counters on rec
+// (see nn.ClassifierErrorRateObs). rec does not re-route the net's
+// hardware counters — pair with Instrument for those.
+func (q *QuantizedNet) ErrorRateObs(rec *obs.Recorder, data *mnist.Dataset, workers int) float64 {
+	return nn.ClassifierErrorRateObs(rec, q, data, workers)
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"sei/internal/nn"
+	"sei/internal/obs"
 	"sei/internal/tensor"
 )
 
@@ -51,7 +52,21 @@ type QuantizedNet struct {
 	FC         FCSpec
 	Thresholds []float64 // one per conv stage
 	InShape    []int     // input image shape, e.g. [1,28,28]
+
+	// hw receives hardware-event counts (OR-pool reductions) when the
+	// net is instrumented. Unexported so gob serialization skips it:
+	// nets coming back from the cache load uninstrumented and must be
+	// re-instrumented by the caller. Struct copies (CloneForEval of the
+	// simulators) share the pointer, which is safe — the counters are
+	// atomic.
+	hw *obs.HW
 }
+
+// Instrument routes the net's hardware-event counts to rec; nil
+// detaches. The binarized data path is shared by the digital reference
+// and the crossbar simulators, so OR-pool reductions are counted here
+// once for all of them.
+func (q *QuantizedNet) Instrument(rec *obs.Recorder) { q.hw = rec.HW() }
 
 // Extract decomposes a trained nn.Network of the paper's shape
 // (conv [relu] [pool] ... flatten dense) into quantizable stages. The
@@ -200,6 +215,9 @@ func (q *QuantizedNet) convStage(eval StageEval, l int, cur *tensor.Tensor) *ten
 	}
 	if c.PoolSize > 1 {
 		bits = orPool(bits, c.PoolSize)
+		if h := q.hw; h != nil {
+			h.ORPool(int64(bits.Dim(0) * bits.Dim(1) * bits.Dim(2)))
+		}
 	}
 	return bits
 }

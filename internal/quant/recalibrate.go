@@ -6,6 +6,7 @@ import (
 
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/obs"
 	"sei/internal/par"
 )
 
@@ -19,6 +20,9 @@ type RecalibrateConfig struct {
 	// cores, 1 = serial). The SGD loop itself stays serial: it is
 	// order-dependent and cheap next to the feature extraction.
 	Workers int
+	// Obs, when set, receives the engine scheduling metrics for the
+	// feature precomputation.
+	Obs *obs.Recorder
 }
 
 // DefaultRecalibrateConfig trains the classifier head for a few cheap
@@ -44,7 +48,7 @@ func RecalibrateFC(q *QuantizedNet, train *mnist.Dataset, cfg RecalibrateConfig)
 	}
 	// Precompute the frozen binary features once, one slot per sample.
 	features := make([][]float64, train.Len())
-	par.ForEach(cfg.Workers, train.Len(), func(i int) {
+	par.ForEachRec(cfg.Obs, cfg.Workers, train.Len(), func(i int) {
 		acts := q.BinaryActivations(train.Images[i])
 		features[i] = acts[len(acts)-1].Data()
 	})

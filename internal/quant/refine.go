@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sei/internal/mnist"
+	"sei/internal/obs"
 	"sei/internal/par"
 )
 
@@ -14,6 +15,9 @@ type RefineConfig struct {
 	Radius  int     // candidates tried on each side of the current value
 	Samples int     // training subsample (0 = all)
 	Workers int     // parallel engine goroutines (0 = all cores, 1 = serial)
+	// Obs, when set, receives refinement counters
+	// (quant_refine_candidates and the engine scheduling metrics).
+	Obs *obs.Recorder
 }
 
 // DefaultRefineConfig refines each threshold over ±5 steps of 0.01 for
@@ -43,7 +47,8 @@ func RefineThresholds(q *QuantizedNet, train *mnist.Dataset, cfg RefineConfig) (
 	// Candidate thresholds mutate q between calls, but within one call
 	// q is read-only, so samples fan out safely.
 	accuracy := func() float64 {
-		correct := par.Count(cfg.Workers, data.Len(), func(i int) bool {
+		cfg.Obs.Counter("quant_refine_candidates").Add(1)
+		correct := par.CountRec(cfg.Obs, cfg.Workers, data.Len(), func(i int) bool {
 			return q.Predict(data.Images[i]) == data.Labels[i]
 		})
 		return float64(correct) / float64(data.Len())

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sei/internal/mnist"
+	"sei/internal/obs"
 	"sei/internal/par"
 	"sei/internal/tensor"
 )
@@ -29,6 +30,9 @@ type SearchConfig struct {
 	// thresholds: candidate scoring is an order-independent count and
 	// sample chunking is fixed.
 	Workers int
+	// Obs, when set, receives search counters (quant_threshold_candidates
+	// and the engine scheduling metrics); nil disables recording.
+	Obs *obs.Recorder
 }
 
 // DefaultSearchConfig uses a wider interval than the paper's [0, 0.1]:
@@ -105,7 +109,7 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 		// sample's output lands in its own slot; the per-chunk maxima
 		// fold in chunk order (max is order-independent anyway).
 		convOut := make([]*tensor.Tensor, data.Len())
-		maxOut := par.MapReduce(cfg.Workers, data.Len(), par.DefaultChunkSize,
+		maxOut := par.MapReduceRec(cfg.Obs, cfg.Workers, data.Len(), par.DefaultChunkSize,
 			func(c par.Chunk) float64 {
 				m := 0.0
 				for i := c.Lo; i < c.Hi; i++ {
@@ -125,14 +129,15 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 		// weights scales the outputs; it cannot change the float
 		// network's classification.
 		q.Convs[l].W.Scale(1 / maxOut)
-		par.ForEach(cfg.Workers, len(convOut), func(i int) {
+		par.ForEachRec(cfg.Obs, cfg.Workers, len(convOut), func(i int) {
 			convOut[i].Scale(1 / maxOut)
 		})
 
 		// Step 3: brute-force threshold search, coarse then fine.
 		// Candidate scoring fans out over samples; q is read-only here.
 		evalT := func(t float64) float64 {
-			correct := par.Count(cfg.Workers, len(convOut), func(i int) bool {
+			cfg.Obs.Counter("quant_threshold_candidates").Add(1)
+			correct := par.CountRec(cfg.Obs, cfg.Workers, len(convOut), func(i int) bool {
 				bits := binarize(convOut[i], t)
 				if q.Convs[l].PoolSize > 1 {
 					bits = orPool(bits, q.Convs[l].PoolSize)
@@ -160,7 +165,7 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 		})
 
 		// Advance the cached entries through the now-final stage.
-		par.ForEach(cfg.Workers, len(entries), func(i int) {
+		par.ForEachRec(cfg.Obs, cfg.Workers, len(entries), func(i int) {
 			entries[i] = q.convStage(eval, l, entries[i])
 		})
 	}

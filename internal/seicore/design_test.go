@@ -145,7 +145,7 @@ func TestCalibrateImprovesAgreementOnSplitLayer(t *testing.T) {
 	}
 	// Collect calibration samples through the design helper.
 	d := &SEIDesign{Q: f.q}
-	samples := d.collectCalibration(1, f.train.Images[:40], 16, 0)
+	samples := d.collectCalibration(1, f.train.Images[:40], 16, 0, nil)
 	if len(samples) == 0 {
 		t.Fatal("no calibration samples")
 	}

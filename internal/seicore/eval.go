@@ -6,6 +6,7 @@ import (
 
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/obs"
 	"sei/internal/par"
 	"sei/internal/quant"
 	"sei/internal/rram"
@@ -62,6 +63,10 @@ type SEIBuildConfig struct {
 	// 1 = the serial path). Calibration results are bit-identical for
 	// every worker count.
 	Workers int
+	// Obs, when set, instruments the built design (hardware-event
+	// counters) and records calibration counters
+	// (sei_calib_candidates, sei_calib_samples); nil disables recording.
+	Obs *obs.Recorder
 }
 
 // DefaultSEIBuildConfig returns the paper's default SEI setup.
@@ -130,12 +135,28 @@ func BuildSEI(q *quant.QuantizedNet, train *mnist.Dataset, cfg SEIBuildConfig, r
 	}
 	d.FC = fc
 
+	// Instrument before calibration so the γ/D search's hardware
+	// activity is part of the run report.
+	d.Instrument(cfg.Obs)
+
 	if cfg.DynamicThreshold && train != nil && train.Len() > 0 {
 		if err := d.calibrate(train, cfg); err != nil {
 			return nil, err
 		}
 	}
 	return d, nil
+}
+
+// Instrument routes the design's hardware-event counters to rec; nil
+// detaches. Evaluation clones made later share the counters (struct
+// copies keep the pointer; the counters are atomic).
+func (d *SEIDesign) Instrument(rec *obs.Recorder) {
+	hw := rec.HW()
+	d.Input.hw = hw
+	for _, l := range d.Convs {
+		l.hw = hw
+	}
+	d.FC.hw = hw
 }
 
 // calibrate runs the Section-4.3 dynamic-threshold optimization for
@@ -154,7 +175,8 @@ func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
 	// within one call d is read-only (noisy designs clone per chunk,
 	// snapshotting the current γ/D), so samples fan out safely.
 	accuracy := func() float64 {
-		return 1 - nn.ClassifierErrorRateWorkers(d, data, cfg.Workers)
+		cfg.Obs.Counter("sei_calib_candidates").Add(1)
+		return 1 - nn.ClassifierErrorRateObs(cfg.Obs, d, data, cfg.Workers)
 	}
 	for li, layer := range d.Convs {
 		stage := li + 1 // conv stage index in the quantized net
@@ -162,10 +184,11 @@ func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
 			continue // no splitting, nothing to compensate
 		}
 		// Per-block mean active counts from the digital pipeline.
-		samples := d.collectCalibration(stage, data.Images, cfg.CalibPositions, cfg.Workers)
+		samples := d.collectCalibration(stage, data.Images, cfg.CalibPositions, cfg.Workers, cfg.Obs)
 		if len(samples) == 0 {
 			return fmt.Errorf("seicore: no calibration samples for stage %d", stage)
 		}
+		cfg.Obs.Counter("sei_calib_samples").Add(int64(len(samples)))
 		// Active counts are noise-independent ints, but BlockSums draws
 		// from the layer's noise RNG when the model has read noise, so
 		// each chunk works on a re-seeded clone. Integer-valued float
@@ -177,7 +200,7 @@ func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
 			perBlock []float64
 			total    float64
 		}
-		for _, p := range par.MapChunks(cfg.Workers, len(samples), par.DefaultChunkSize,
+		for _, p := range par.MapChunksRec(cfg.Obs, cfg.Workers, len(samples), par.DefaultChunkSize,
 			func(c par.Chunk) onesPartial {
 				eval := layer.evalClone(layerRNG(calibSeedBase, c.Index))
 				p := onesPartial{perBlock: make([]float64, layer.K)}
@@ -244,11 +267,11 @@ const calibSeedBase int64 = 0xCA11B
 // digital pipeline for both the stage inputs and the reference. Images
 // are processed in parallel; per-image sample lists concatenate in
 // image order, so the result is independent of the worker count.
-func (d *SEIDesign) collectCalibration(stage int, images []*tensor.Tensor, maxPositions, workers int) []CalibrationSample {
+func (d *SEIDesign) collectCalibration(stage int, images []*tensor.Tensor, maxPositions, workers int, rec *obs.Recorder) []CalibrationSample {
 	q := d.Q
 	digital := q.Digital()
 	perImage := make([][]CalibrationSample, len(images))
-	par.ForEach(workers, len(images), func(i int) {
+	par.ForEachRec(rec, workers, len(images), func(i int) {
 		acts := q.BinaryActivations(images[i])
 		in := acts[stage-1] // activation map entering this stage
 		c := &q.Convs[stage]
@@ -327,6 +350,16 @@ func BuildOneBitADC(q *quant.QuantizedNet, model rram.DeviceModel, rng *rand.Ran
 	return d, nil
 }
 
+// Instrument routes the design's hardware-event counters to rec; nil
+// detaches (see SEIDesign.Instrument).
+func (d *MergedDesign) Instrument(rec *obs.Recorder) {
+	hw := rec.HW()
+	for _, l := range d.Stages {
+		l.hw = hw
+	}
+	d.FC.hw = hw
+}
+
 // EvalConv implements quant.StageEval.
 func (d *MergedDesign) EvalConv(l int, in []float64) []bool {
 	out := d.Stages[l].Eval(in)
@@ -384,6 +417,16 @@ func BuildDACADC(net *nn.Network, inShape []int, model rram.DeviceModel, rng *ra
 	}
 	d.fc = fc
 	return d, nil
+}
+
+// Instrument routes the design's hardware-event counters to rec; nil
+// detaches (see SEIDesign.Instrument).
+func (d *FloatDesign) Instrument(rec *obs.Recorder) {
+	hw := rec.HW()
+	for _, l := range d.conv {
+		l.hw = hw
+	}
+	d.fc.hw = hw
 }
 
 // Predict classifies one image with full-precision data flow.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sei/internal/obs"
 	"sei/internal/rram"
 	"sei/internal/tensor"
 )
@@ -22,6 +23,7 @@ type MergedLayer struct {
 	eff       *tensor.Tensor // [N, M] effective real weights
 	model     rram.DeviceModel
 	readNoise *rand.Rand
+	hw        *obs.HW // hardware-event counters; nil = not instrumented
 }
 
 // NewMergedLayer programs the matrix w [N,M] into the baseline
@@ -47,6 +49,17 @@ func NewMergedLayer(w *tensor.Tensor, model rram.DeviceModel, rng *rand.Rand) (*
 func (l *MergedLayer) Eval(in []float64) []float64 {
 	if len(in) != l.N {
 		panic(fmt.Sprintf("seicore: MergedLayer input length %d, want %d", len(in), l.N))
+	}
+	if h := l.hw; h != nil {
+		ones := 0
+		for _, x := range in {
+			if x != 0 {
+				ones++
+			}
+		}
+		h.MVM(1)
+		h.ColumnActivations(int64(l.M))
+		h.ActiveInputs(int64(ones))
 	}
 	if l.model.IVNonlinearity > 0 {
 		f := l.model.TransferCalibrated()

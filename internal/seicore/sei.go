@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sei/internal/obs"
 	"sei/internal/rram"
 	"sei/internal/tensor"
 )
@@ -133,6 +134,7 @@ type SEIConvLayer struct {
 	blocks []seiBlock
 	model  rram.DeviceModel
 	noise  *rand.Rand
+	hw     *obs.HW // hardware-event counters; nil = not instrumented
 
 	// Threshold is the layer's logical binarization threshold (from
 	// Algorithm 1), in weight·input units.
@@ -223,6 +225,7 @@ func (l *SEIConvLayer) Eval(in []float64) []bool {
 	for bi := range l.blocks {
 		b := &l.blocks[bi]
 		main, w0sum, ones := b.sums(in, l.M)
+		l.hw.ActiveInputs(int64(ones))
 		l.applyAnalog(main, ones)
 		ref := l.BaseThr[bi] + l.Gamma*(float64(ones)-l.OnesMean[bi]) + w0sum
 		for c, s := range main {
@@ -230,6 +233,11 @@ func (l *SEIConvLayer) Eval(in []float64) []bool {
 				fired[c]++
 			}
 		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.SACompares(int64(l.K * l.M))
+		h.ColumnActivations(int64(l.K * l.M))
 	}
 	out := make([]bool, l.M)
 	for c, f := range fired {
@@ -246,8 +254,13 @@ func (l *SEIConvLayer) BlockSums(in []float64) (main [][]float64, w0 []float64, 
 	ones = make([]int, l.K)
 	for bi := range l.blocks {
 		m, w, o := l.blocks[bi].sums(in, l.M)
+		l.hw.ActiveInputs(int64(o))
 		l.applyAnalog(m, o)
 		main[bi], w0[bi], ones[bi] = m, w, o
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.ColumnActivations(int64(l.K * l.M))
 	}
 	return main, w0, ones
 }
@@ -283,6 +296,7 @@ type SEIFCLayer struct {
 	blocks []seiBlock
 	model  rram.DeviceModel
 	noise  *rand.Rand
+	hw     *obs.HW // hardware-event counters; nil = not instrumented
 	Bias   []float64
 }
 
@@ -347,6 +361,7 @@ func (l *SEIFCLayer) Eval(in []float64) []float64 {
 	for bi := range l.blocks {
 		b := &l.blocks[bi]
 		main, w0sum, ones := b.sums(in, l.M)
+		l.hw.ActiveInputs(int64(ones))
 		if a := l.model.IRDropAlpha; a > 0 {
 			scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
 			for c := range main {
@@ -362,6 +377,10 @@ func (l *SEIFCLayer) Eval(in []float64) []float64 {
 		for c, s := range main {
 			out[c] += s - w0sum
 		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.ColumnActivations(int64(l.K * l.M))
 	}
 	return out
 }

@@ -34,6 +34,7 @@ import (
 	"sei/internal/experiments"
 	"sei/internal/mnist"
 	"sei/internal/nn"
+	"sei/internal/obs"
 	"sei/internal/par"
 	"sei/internal/power"
 	"sei/internal/quant"
@@ -61,7 +62,15 @@ type (
 	PowerLibrary = power.Library
 	// ExperimentConfig sizes the table/figure reproductions.
 	ExperimentConfig = experiments.Config
+	// Recorder collects phase spans, hardware-event counters and run
+	// reports; attach one via PipelineConfig.Obs or
+	// ExperimentConfig.Obs. A nil Recorder disables all recording.
+	Recorder = obs.Recorder
 )
+
+// NewRecorder returns an empty instrumentation recorder whose clock
+// starts now.
+func NewRecorder() *Recorder { return obs.New() }
 
 // The three hardware structures of Table 5.
 const (
@@ -95,6 +104,18 @@ func TrainTableNetwork(id int, train *Dataset, epochs int, seed int64) *Network 
 	return net
 }
 
+// TrainTableNetworkObs is TrainTableNetwork with instrumentation:
+// training counters and per-epoch progress feed rec (nil = off).
+func TrainTableNetworkObs(rec *Recorder, id int, train *Dataset, epochs int, seed int64) *Network {
+	net := nn.NewTableNetwork(id, seed)
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = epochs
+	cfg.Seed = seed
+	cfg.Obs = rec
+	nn.Train(net, train, cfg)
+	return net
+}
+
 // EvaluateNetwork returns the float network's test error rate.
 func EvaluateNetwork(net *Network, test *Dataset) float64 { return nn.ErrorRate(net, test) }
 
@@ -106,19 +127,33 @@ func Quantize(net *Network, train *Dataset) (*QuantizedNet, error) {
 }
 
 func quantizeWorkers(net *Network, train *Dataset, workers int) (*QuantizedNet, error) {
+	return quantizeObs(nil, net, train, workers)
+}
+
+// QuantizeObs is Quantize with instrumentation and an explicit worker
+// bound; the quantized net comes back instrumented so later hardware
+// evaluations feed rec's counters.
+func QuantizeObs(rec *Recorder, net *Network, train *Dataset, workers int) (*QuantizedNet, error) {
+	return quantizeObs(rec, net, train, workers)
+}
+
+func quantizeObs(rec *obs.Recorder, net *Network, train *Dataset, workers int) (*QuantizedNet, error) {
 	cfg := quant.DefaultSearchConfig()
 	cfg.Workers = workers
+	cfg.Obs = rec
 	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, cfg)
 	if err != nil {
 		return nil, err
 	}
 	ccfg := quant.DefaultRecalibrateConfig()
 	ccfg.Workers = workers
+	ccfg.Obs = rec
 	if err := quant.RecalibrateFC(q, train, ccfg); err != nil {
 		return nil, err
 	}
 	rcfg := quant.DefaultRefineConfig()
 	rcfg.Workers = workers
+	rcfg.Obs = rec
 	if _, err := quant.RefineThresholds(q, train, rcfg); err != nil {
 		return nil, err
 	}
@@ -164,6 +199,12 @@ type PipelineConfig struct {
 	// cores, 1 = the serial path); results are bit-identical for any
 	// worker count.
 	Workers int
+	// Obs, when set, records phase spans (train → quantize → build →
+	// evaluate), hardware-event counters and throughput for the run;
+	// nil disables recording. Instrumentation never feeds back into
+	// computation, so recorded runs are bit-identical to unrecorded
+	// ones.
+	Obs *obs.Recorder
 }
 
 // DefaultPipelineConfig runs Network 2 at a laptop-friendly size.
@@ -209,26 +250,43 @@ func RunPipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		}
 	}
 	logf("sei: training network %d on %d samples\n", cfg.NetworkID, train.Len())
-	net := TrainTableNetwork(cfg.NetworkID, train, cfg.Epochs, cfg.Seed)
-	res := &PipelineResult{FloatError: nn.ErrorRateWorkers(net, test, cfg.Workers)}
+	sp := cfg.Obs.StartSpan("train")
+	net := nn.NewTableNetwork(cfg.NetworkID, cfg.Seed)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = cfg.Epochs
+	tcfg.Seed = cfg.Seed
+	tcfg.Workers = cfg.Workers
+	tcfg.Obs = cfg.Obs
+	nn.Train(net, train, tcfg)
+	sp.AddSamples(int64(train.Len() * cfg.Epochs))
+	sp.End()
+	res := &PipelineResult{FloatError: nn.ErrorRateObs(cfg.Obs, net, test, cfg.Workers)}
 	logf("sei: float error %.4f; quantizing\n", res.FloatError)
 
-	q, err := quantizeWorkers(net, train, cfg.Workers)
+	sp = cfg.Obs.StartSpan("quantize")
+	q, err := quantizeObs(cfg.Obs, net, train, cfg.Workers)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	res.QuantError = q.ErrorRateWorkers(test, cfg.Workers)
+	res.QuantError = q.ErrorRateObs(cfg.Obs, test, cfg.Workers)
 	logf("sei: quantized error %.4f; mapping to SEI\n", res.QuantError)
 
+	sp = cfg.Obs.StartSpan("build")
 	bcfg := seicore.DefaultSEIBuildConfig()
 	bcfg.Layer.MaxCrossbar = cfg.MaxCrossbar
 	bcfg.Orders = experiments.HomogenizedOrdersFor(q, cfg.MaxCrossbar, cfg.Seed)
 	bcfg.Workers = cfg.Workers
+	bcfg.Obs = cfg.Obs
 	design, err := seicore.BuildSEI(q, train, bcfg, rand.New(rand.NewSource(cfg.Seed)))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	res.SEIError = nn.ClassifierErrorRateWorkers(design, test, cfg.Workers)
+	sp = cfg.Obs.StartSpan("evaluate")
+	res.SEIError = nn.ClassifierErrorRateObs(cfg.Obs, design, test, cfg.Workers)
+	sp.AddSamples(int64(test.Len()))
+	sp.End()
 	logf("sei: SEI hardware error %.4f; computing energy/area\n", res.SEIError)
 
 	geoms, err := arch.GeometryOf(q)
