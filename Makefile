@@ -34,4 +34,5 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/par
+	$(GO) test -race ./internal/obs ./internal/par ./internal/serve ./internal/seicore
+	$(GO) test -count=1 -run TestServeSmokeSIGTERM ./cmd/seiserve

@@ -428,7 +428,9 @@ func BenchmarkCrossbarMVM(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cb.MVM(v, nil)
+		if _, err := cb.MVM(v, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

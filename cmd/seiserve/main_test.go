@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"sei/internal/cliutil"
+	"sei/internal/mnist"
+)
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags([]string{"-demo", "-workers", "4"}, io.Discard); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h: err = %v, want flag.ErrHelp", err)
+	}
+	if _, err := parseFlags([]string{"-nope"}, io.Discard); !errors.Is(err, cliutil.ErrUsage) {
+		t.Fatalf("unknown flag: err = %v, want ErrUsage", err)
+	}
+	if _, err := parseFlags([]string{"-demo", "-workers", "-3"}, io.Discard); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := parseFlags(nil, io.Discard); err == nil {
+		t.Fatal("empty registry (no -designs, no -demo) accepted")
+	}
+}
+
+// TestServeSmokeSIGTERM is the end-to-end smoke test: start the
+// service on an ephemeral port, predict against the demo classifier,
+// verify labels match the offline classifier bit-for-bit, then SIGTERM
+// the process and require a clean drain.
+func TestServeSmokeSIGTERM(t *testing.T) {
+	opt, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-demo", "-max-delay", "1ms", "-drain", "5s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readyc := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(opt, io.Discard, func(addr string) { readyc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-readyc:
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("service not ready in 30s")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Predict ten images and compare with the identically seeded
+	// offline classifier.
+	offline := buildDemo(opt.seed)
+	data := mnist.Synthetic(10, 77)
+	var req struct {
+		Design string      `json:"design"`
+		Images [][]float64 `json:"images"`
+	}
+	req.Design = "demo"
+	for _, img := range data.Images {
+		req.Images = append(req.Images, img.Data())
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Results []struct {
+			Label int    `json:"label"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	err = json.NewDecoder(presp.Body).Decode(&out)
+	presp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d", presp.StatusCode)
+	}
+	if len(out.Results) != data.Len() {
+		t.Fatalf("got %d results, want %d", len(out.Results), data.Len())
+	}
+	for i, r := range out.Results {
+		if r.Error != "" {
+			t.Fatalf("image %d: %s", i, r.Error)
+		}
+		if want := offline.Predict(data.Images[i]); r.Label != want {
+			t.Fatalf("image %d: served %d, offline %d", i, r.Label, want)
+		}
+	}
+
+	// A malformed request must not kill the service.
+	bresp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader([]byte(`{broken`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed predict: status %d, want 400", bresp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("service did not drain within 15s of SIGTERM")
+	}
+}

@@ -1,0 +1,110 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sei/internal/obs"
+)
+
+func TestCheckWorkers(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 16} {
+		if err := CheckWorkers(w); err != nil {
+			t.Fatalf("workers=%d rejected: %v", w, err)
+		}
+	}
+	for _, w := range []int{-1, -8} {
+		err := CheckWorkers(w)
+		if err == nil {
+			t.Fatalf("workers=%d accepted", w)
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Fatalf("workers=%d error %q does not name the flag", w, err)
+		}
+	}
+}
+
+func TestObsFlagsRegisterAndEnabled(t *testing.T) {
+	var f ObsFlags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f.Register(fs)
+	if f.Enabled() {
+		t.Fatal("zero ObsFlags reports enabled")
+	}
+	if f.Recorder() != nil {
+		t.Fatal("disabled flags produced a recorder")
+	}
+	if err := fs.Parse([]string{"-metrics", "m.json", "-trace", "-prom", "p.prom"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Metrics != "m.json" || !f.Trace || f.Prom != "p.prom" || f.Progress {
+		t.Fatalf("parsed flags %+v", f)
+	}
+	if !f.Enabled() {
+		t.Fatal("parsed flags report disabled")
+	}
+	if f.Recorder() == nil {
+		t.Fatal("enabled flags produced no recorder")
+	}
+}
+
+func TestFinishWritesReports(t *testing.T) {
+	dir := t.TempDir()
+	f := ObsFlags{
+		Metrics: filepath.Join(dir, "report.json"),
+		Prom:    filepath.Join(dir, "metrics.prom"),
+		Trace:   true,
+	}
+	rec := obs.New()
+	rec.Counter("test_events").Add(3)
+	var stderr bytes.Buffer
+	if err := f.Finish(rec, "unit", &stderr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(f.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	prom, err := os.ReadFile(f.Prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "test_events") {
+		t.Fatalf("prometheus output missing counter:\n%s", prom)
+	}
+	if stderr.Len() == 0 {
+		t.Fatal("-trace wrote nothing to stderr")
+	}
+}
+
+func TestFinishNilRecorderIsNoop(t *testing.T) {
+	f := ObsFlags{Metrics: filepath.Join(t.TempDir(), "never.json"), Trace: true}
+	if err := f.Finish(nil, "unit", io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(f.Metrics); !os.IsNotExist(err) {
+		t.Fatal("nil recorder still wrote a report")
+	}
+}
+
+func TestFinishReportsUnwritablePaths(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir")
+	rec := obs.New()
+	if err := (&ObsFlags{Metrics: filepath.Join(missing, "m.json")}).Finish(rec, "unit", io.Discard); err == nil {
+		t.Fatal("unwritable -metrics path not reported")
+	}
+	if err := (&ObsFlags{Prom: filepath.Join(missing, "p.prom")}).Finish(rec, "unit", io.Discard); err == nil {
+		t.Fatal("unwritable -prom path not reported")
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sei/internal/mnist"
+	"sei/internal/obs"
+	"sei/internal/par"
+	"sei/internal/tensor"
+)
+
+// ErrBadInput marks a prediction rejected because of a malformed image:
+// wrong shape, non-finite pixels, or input-dependent evaluator state
+// the layers cannot digest (surfaced as a recovered panic). Callers
+// match it with errors.Is and map it to a client error, never a crash.
+var ErrBadInput = errors.New("nn: bad input")
+
+// MetricPredictPanics counts evaluator panics contained by the batch
+// predict path — each one is a would-have-been process death.
+const MetricPredictPanics = "predict_panics"
+
+// PredictResult is one image's outcome in a batch: a label, or an error
+// (in which case Label is -1).
+type PredictResult struct {
+	Label int
+	Err   error
+}
+
+// ValidateImage checks that an image is structurally evaluable by the
+// paper's networks: non-nil, single-channel Side×Side, with finite
+// pixels. Violations return an ErrBadInput-wrapped error. This is the
+// gate the serving path applies before an image reaches layer code
+// whose shape checks panic.
+func ValidateImage(img *tensor.Tensor) error {
+	if img == nil {
+		return fmt.Errorf("%w: nil image", ErrBadInput)
+	}
+	s := img.Shape()
+	if len(s) != 3 || s[0] != 1 || s[1] != mnist.Side || s[2] != mnist.Side {
+		return fmt.Errorf("%w: image shape %v, want [1 %d %d]", ErrBadInput, s, mnist.Side, mnist.Side)
+	}
+	for i, v := range img.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite pixel %v at index %d", ErrBadInput, v, i)
+		}
+	}
+	return nil
+}
+
+// safePredict evaluates one image with panic containment: a malformed
+// input is rejected up front, and any panic escaping the layer stack
+// (shape checks, index arithmetic on unexpected geometry) comes back as
+// an ErrBadInput-wrapped error instead of killing the process.
+func safePredict(c Classifier, img *tensor.Tensor, rec *obs.Recorder) (res PredictResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec.Counter(MetricPredictPanics).Add(1)
+			res = PredictResult{Label: -1, Err: fmt.Errorf("%w: evaluator panic: %v", ErrBadInput, r)}
+		}
+	}()
+	if err := ValidateImage(img); err != nil {
+		return PredictResult{Label: -1, Err: err}
+	}
+	return PredictResult{Label: c.Predict(img)}
+}
+
+// Predict classifies one image with validation and panic containment
+// (see PredictBatch for the batch form and its determinism contract).
+func Predict(c Classifier, img *tensor.Tensor) (int, error) {
+	res := safePredict(c, img, nil)
+	return res.Label, res.Err
+}
+
+// PredictBatch classifies a batch of images on the parallel engine and
+// returns one PredictResult per image. It uses the exact chunking and
+// per-chunk noise seeding of the error-rate paths, so when imgs is a
+// dataset's image slice in dataset order, the labels are bit-identical
+// to what ClassifierErrorRate counted — for every worker count and
+// batch size. Malformed images and recovered evaluator panics produce
+// per-image ErrBadInput errors; valid neighbours in the same batch are
+// unaffected.
+func PredictBatch(c Classifier, imgs []*tensor.Tensor, workers int) []PredictResult {
+	return PredictBatchObs(nil, c, imgs, workers)
+}
+
+// PredictBatchObs is PredictBatch with instrumentation: engine
+// scheduling counters, the eval_images sharded counter, and
+// predict_panics on rec. A nil rec records nothing.
+func PredictBatchObs(rec *obs.Recorder, c Classifier, imgs []*tensor.Tensor, workers int) []PredictResult {
+	w := evalWorkers(c, workers)
+	n := len(imgs)
+	out := make([]PredictResult, n)
+	sc := rec.Sharded(MetricEvalImages, par.NumChunks(n, par.DefaultChunkSize))
+	par.ForEachChunkRec(rec, w, n, par.DefaultChunkSize, func(ch par.Chunk) {
+		sc.Add(ch.Index, int64(ch.Hi-ch.Lo))
+		eval := chunkEvaluator(c, ch)
+		for i := ch.Lo; i < ch.Hi; i++ {
+			out[i] = safePredict(eval, imgs[i], rec)
+		}
+	})
+	sc.Merge()
+	return out
+}

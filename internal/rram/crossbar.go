@@ -40,6 +40,23 @@ func NewCrossbar(rows, cols int, m DeviceModel) (*Crossbar, error) {
 	return c, nil
 }
 
+// needsProgramRNG reports whether programming draws random numbers
+// under this model (variation or stuck faults).
+func (m DeviceModel) needsProgramRNG() bool {
+	return m.ProgramSigma > 0 || m.StuckOnRate > 0 || m.StuckOffRate > 0
+}
+
+// checkProgramRNG rejects a nil rng when the model's programming is
+// stochastic, so the failure surfaces as an error at Program time
+// instead of a nil-pointer panic inside ProgramConductance.
+func (c *Crossbar) checkProgramRNG(rng *rand.Rand) error {
+	if rng == nil && c.Model.needsProgramRNG() {
+		return fmt.Errorf("rram: programming with variation sigma %g and stuck rates %g/%g requires an rng",
+			c.Model.ProgramSigma, c.Model.StuckOnRate, c.Model.StuckOffRate)
+	}
+	return nil
+}
+
 // Program writes a matrix of normalized weights in [0,1] into the
 // array: each value is quantized to the nearest device level and
 // programmed with the model's variation and faults. target must be
@@ -48,6 +65,9 @@ func (c *Crossbar) Program(target *tensor.Tensor, rng *rand.Rand) error {
 	s := target.Shape()
 	if len(s) != 2 || s[0] != c.Rows || s[1] != c.Cols {
 		return fmt.Errorf("rram: Program target shape %v, want [%d %d]", s, c.Rows, c.Cols)
+	}
+	if err := c.checkProgramRNG(rng); err != nil {
+		return err
 	}
 	for j := 0; j < c.Rows; j++ {
 		for k := 0; k < c.Cols; k++ {
@@ -64,6 +84,9 @@ func (c *Crossbar) Program(target *tensor.Tensor, rng *rand.Rand) error {
 func (c *Crossbar) ProgramLevels(levels []int, rng *rand.Rand) error {
 	if len(levels) != c.Rows*c.Cols {
 		return fmt.Errorf("rram: ProgramLevels got %d levels, want %d", len(levels), c.Rows*c.Cols)
+	}
+	if err := c.checkProgramRNG(rng); err != nil {
+		return err
 	}
 	for j := 0; j < c.Rows; j++ {
 		for k := 0; k < c.Cols; k++ {
@@ -87,10 +110,16 @@ func (c *Crossbar) Conductance(row, col int) float64 { return c.g.At(row, col) }
 
 // MVM performs the analog read: output currents i_k = Σ_j g_{j,k}·v_j
 // for input voltages v, with the model's IR-drop degradation and read
-// noise applied. rng may be nil when the model has no read noise.
-func (c *Crossbar) MVM(v []float64, rng *rand.Rand) []float64 {
+// noise applied. rng may be nil when the model has no read noise;
+// passing nil with ReadNoiseSigma > 0 is an error (a read cannot
+// invent its noise stream), as is an input of the wrong length — both
+// are reachable from user data and must not kill the process.
+func (c *Crossbar) MVM(v []float64, rng *rand.Rand) ([]float64, error) {
 	if len(v) != c.Rows {
-		panic(fmt.Sprintf("rram: MVM input length %d, want %d", len(v), c.Rows))
+		return nil, fmt.Errorf("rram: MVM input length %d, want %d", len(v), c.Rows)
+	}
+	if c.Model.ReadNoiseSigma > 0 && rng == nil {
+		return nil, fmt.Errorf("rram: read noise sigma %g requires an rng", c.Model.ReadNoiseSigma)
 	}
 	if c.Model.IVNonlinearity > 0 {
 		f := c.Model.Transfer()
@@ -114,14 +143,11 @@ func (c *Crossbar) MVM(v []float64, rng *rand.Rand) []float64 {
 		}
 	}
 	if c.Model.ReadNoiseSigma > 0 {
-		if rng == nil {
-			panic("rram: read noise requires an rng")
-		}
 		for k := range out {
 			out[k] *= 1 + c.Model.ReadNoiseSigma*rng.NormFloat64()
 		}
 	}
-	return out
+	return out, nil
 }
 
 // WeightedSum performs an MVM and converts the column currents back to
@@ -129,8 +155,11 @@ func (c *Crossbar) MVM(v []float64, rng *rand.Rand) []float64 {
 // physically realized with a reference column — and the remainder is
 // scaled by MaxLevel/ΔG, recovering Σ_j v_j·w_j for the programmed
 // normalized weights w·MaxLevel.
-func (c *Crossbar) WeightedSum(v []float64, rng *rand.Rand) []float64 {
-	out := c.MVM(v, rng)
+func (c *Crossbar) WeightedSum(v []float64, rng *rand.Rand) ([]float64, error) {
+	out, err := c.MVM(v, rng)
+	if err != nil {
+		return nil, err
+	}
 	vsum := 0.0
 	for _, x := range v {
 		vsum += x
@@ -140,7 +169,7 @@ func (c *Crossbar) WeightedSum(v []float64, rng *rand.Rand) []float64 {
 	for k := range out {
 		out[k] = (out[k] - base) * scale
 	}
-	return out
+	return out, nil
 }
 
 // EffectiveWeights returns the matrix of per-cell effective weights in

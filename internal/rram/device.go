@@ -107,9 +107,12 @@ func (m DeviceModel) LevelConductance(level int) float64 {
 }
 
 // QuantizeToLevel maps a normalized weight in [0,1] to the nearest
-// level index.
+// level index. Out-of-range values clamp to the nearest level; NaN
+// (which compares false against both clamp bounds and would otherwise
+// flow through math.Round into an out-of-range level) programs the
+// lowest level, the same cell state an unprogrammed device holds.
 func (m DeviceModel) QuantizeToLevel(v float64) int {
-	if v < 0 {
+	if math.IsNaN(v) || v < 0 {
 		v = 0
 	}
 	if v > 1 {

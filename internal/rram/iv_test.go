@@ -113,16 +113,24 @@ func TestMVMNonlinearDistortsAnalogNotBinary(t *testing.T) {
 	cbNL, _ := NewCrossbar(4, 1, nl)
 	cbNL.Program(target, rng)
 
+	mvm0 := func(cb *Crossbar, v []float64) float64 {
+		out, err := cb.MVM(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0]
+	}
+
 	// Binary input: nonlinear result is exactly gain·linear.
 	bin := []float64{1, 0, 1, 1}
 	gain := nl.TransferGain()
-	if math.Abs(cbNL.MVM(bin, nil)[0]-gain*cbLin.MVM(bin, nil)[0]) > 1e-15 {
+	if math.Abs(mvm0(cbNL, bin)-gain*mvm0(cbLin, bin)) > 1e-15 {
 		t.Fatal("binary input not uniformly scaled under nonlinearity")
 	}
 
 	// Analog input: the result is NOT a uniform scaling (distortion).
 	ana := []float64{0.2, 0.9, 0.5, 0.1}
-	ratio := cbNL.MVM(ana, nil)[0] / cbLin.MVM(ana, nil)[0]
+	ratio := mvm0(cbNL, ana) / mvm0(cbLin, ana)
 	if math.Abs(ratio-gain) < 1e-6 {
 		t.Fatalf("analog input scaled uniformly (ratio %v = gain %v); expected distortion", ratio, gain)
 	}

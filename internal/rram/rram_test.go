@@ -156,7 +156,10 @@ func TestMVMIdealExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := []float64{1, 1, 0.5}
-	got := cb.MVM(v, nil)
+	got, err := cb.MVM(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Column currents from first principles.
 	for k := 0; k < 2; k++ {
 		want := 0.0
@@ -183,7 +186,10 @@ func TestWeightedSumRecoversIntegers(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := []float64{1, 0, 1, 1, 0, 0, 1, 1}
-	got := cb.WeightedSum(v, nil)
+	got, err := cb.WeightedSum(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for k := 0; k < 3; k++ {
 		want := 0.0
 		for j := 0; j < 8; j++ {
@@ -212,7 +218,10 @@ func TestEffectiveWeightsMatchWeightedSum(t *testing.T) {
 			v[i] = 1
 		}
 	}
-	direct := cb.WeightedSum(v, nil)
+	direct, err := cb.WeightedSum(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eff := cb.EffectiveWeights()
 	fast := tensor.MatVecT(eff, v)
 	for k := range direct {
@@ -247,11 +256,19 @@ func TestIRDropReducesCurrent(t *testing.T) {
 	for i := range v {
 		v[i] = 1
 	}
-	withDrop := cb.MVM(v, nil)[0]
+	dropOut, err := cb.MVM(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDrop := dropOut[0]
 	m.IRDropAlpha = 0
 	cb2, _ := NewCrossbar(100, 1, m)
 	cb2.Program(target, rng)
-	ideal := cb2.MVM(v, nil)[0]
+	idealOut, err := cb2.MVM(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := idealOut[0]
 	wantScale := 1 - 0.2*100.0/512
 	if math.Abs(withDrop/ideal-wantScale) > 1e-9 {
 		t.Fatalf("IR drop scale %v, want %v", withDrop/ideal, wantScale)
@@ -270,12 +287,20 @@ func TestReadNoisePerturbsButUnbiased(t *testing.T) {
 	m.ReadNoiseSigma = 0
 	cbClean, _ := NewCrossbar(4, 1, m)
 	cbClean.Program(target, rng)
-	clean := cbClean.MVM(v, nil)[0]
+	cleanOut, err := cbClean.MVM(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := cleanOut[0]
 	sum := 0.0
 	const n = 2000
 	sawDifferent := false
 	for i := 0; i < n; i++ {
-		x := cb.MVM(v, rng)[0]
+		noisy, err := cb.MVM(v, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := noisy[0]
 		if x != clean {
 			sawDifferent = true
 		}
@@ -290,15 +315,64 @@ func TestReadNoisePerturbsButUnbiased(t *testing.T) {
 }
 
 func TestReadNoiseRequiresRNG(t *testing.T) {
+	// Regression: this used to panic mid-read ("read noise requires an
+	// rng"), killing any process that evaluated a noisy model without a
+	// noise stream. It must surface as an error instead.
 	m := IdealDeviceModel(4)
 	m.ReadNoiseSigma = 0.1
 	cb, _ := NewCrossbar(2, 2, m)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MVM with read noise and nil rng did not panic")
+	if _, err := cb.MVM([]float64{1, 1}, nil); err == nil {
+		t.Fatal("MVM with read noise and nil rng did not return an error")
+	}
+	if _, err := cb.WeightedSum([]float64{1, 1}, nil); err == nil {
+		t.Fatal("WeightedSum with read noise and nil rng did not return an error")
+	}
+	if _, err := cb.MVM([]float64{1, 1}, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("MVM with an rng failed: %v", err)
+	}
+}
+
+func TestMVMWrongLengthReturnsError(t *testing.T) {
+	cb, _ := NewCrossbar(4, 2, IdealDeviceModel(4))
+	if _, err := cb.MVM([]float64{1, 1}, nil); err == nil {
+		t.Fatal("MVM accepted an input of the wrong length")
+	}
+}
+
+func TestQuantizeToLevelNaN(t *testing.T) {
+	// Regression: NaN compares false against both clamp bounds, so it
+	// used to flow through math.Round into int(NaN) — an out-of-range
+	// level that panicked downstream in LevelConductance.
+	m := DefaultDeviceModel()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -3, 7} {
+		lvl := m.QuantizeToLevel(v)
+		if lvl < 0 || lvl > m.MaxLevel() {
+			t.Fatalf("QuantizeToLevel(%v) = %d outside [0,%d]", v, lvl, m.MaxLevel())
 		}
-	}()
-	cb.MVM([]float64{1, 1}, nil)
+		// The level must be programmable without panicking.
+		if g := m.LevelConductance(lvl); g < m.GOff || g > m.GOn {
+			t.Fatalf("LevelConductance(%d) = %g outside [%g,%g]", lvl, g, m.GOff, m.GOn)
+		}
+	}
+	if got := m.QuantizeToLevel(math.NaN()); got != 0 {
+		t.Fatalf("QuantizeToLevel(NaN) = %d, want 0 (the unprogrammed state)", got)
+	}
+}
+
+func TestProgramNilRNGRejectedWhenStochastic(t *testing.T) {
+	m := DefaultDeviceModel() // ProgramSigma > 0
+	cb, _ := NewCrossbar(2, 2, m)
+	if err := cb.Program(tensor.New(2, 2), nil); err == nil {
+		t.Fatal("Program with stochastic model accepted a nil rng")
+	}
+	if err := cb.ProgramLevels(make([]int, 4), nil); err == nil {
+		t.Fatal("ProgramLevels with stochastic model accepted a nil rng")
+	}
+	// A deterministic model needs no rng at all.
+	det, _ := NewCrossbar(2, 2, IdealDeviceModel(4))
+	if err := det.Program(tensor.New(2, 2), nil); err != nil {
+		t.Fatalf("deterministic Program rejected nil rng: %v", err)
+	}
 }
 
 func TestQuantizeSymmetric(t *testing.T) {

@@ -181,9 +181,15 @@ func TestProgramVerifyImprovesOverPlainProgram(t *testing.T) {
 			v[i] = 1
 		}
 	}
-	ref := ideal.WeightedSum(v, nil)
+	ref, err := ideal.WeightedSum(v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	errOf := func(c *Crossbar) float64 {
-		out := c.WeightedSum(v, nil)
+		out, err := c.WeightedSum(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		s := 0.0
 		for k := range out {
 			d := out[k] - ref[k]

@@ -1,0 +1,121 @@
+package seicore
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"sei/internal/nn"
+)
+
+func TestDesignSaveLoadRoundTrip(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultSEIBuildConfig()
+	cfg.CalibImages = 20
+	design, err := BuildSEI(f.q, f.train, cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := design.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDesign(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded design must predict bit-identically: it carries the
+	// programmed effective weights and calibrated thresholds, not a
+	// rebuild recipe.
+	sub := f.test.Subset(150)
+	for i, img := range sub.Images {
+		if a, b := design.Predict(img), loaded.Predict(img); a != b {
+			t.Fatalf("image %d: saved design predicts %d, loaded %d", i, a, b)
+		}
+	}
+	if len(loaded.CalibResults) != len(design.CalibResults) {
+		t.Fatalf("calibration results lost: %d vs %d", len(loaded.CalibResults), len(design.CalibResults))
+	}
+	for stage, want := range design.CalibResults {
+		got, ok := loaded.CalibResults[stage]
+		if !ok || got.Gamma != want.Gamma || got.DigitalThreshold != want.DigitalThreshold {
+			t.Fatalf("stage %d calibration %+v, want %+v", stage, got, want)
+		}
+	}
+}
+
+func TestDesignSaveLoadNoisyModelDeterministicEval(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultSEIBuildConfig()
+	cfg.DynamicThreshold = false
+	cfg.Layer.Model.ReadNoiseSigma = 0.03
+	design, err := BuildSEI(f.q, nil, cfg, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := design.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDesign(bytes.NewReader(buf.Bytes()), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dataset evaluation re-seeds noise per chunk through CloneForEval,
+	// so saved and loaded noisy designs agree bit-identically for every
+	// worker count despite their different base seeds.
+	sub := f.test.Subset(120)
+	want := nn.ClassifierErrorRateWorkers(design, sub, 1)
+	for _, workers := range []int{1, 4} {
+		if got := nn.ClassifierErrorRateWorkers(loaded, sub, workers); got != want {
+			t.Fatalf("workers=%d: loaded noisy design error %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestDesignSaveLoadFile(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultSEIBuildConfig()
+	cfg.DynamicThreshold = false
+	design, err := BuildSEI(f.q, nil, cfg, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "designs", "net2.design")
+	if err := design.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDesignFile(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Predict(f.test.Images[0]) != design.Predict(f.test.Images[0]) {
+		t.Fatal("file round trip changed a prediction")
+	}
+	if _, err := LoadDesignFile(filepath.Join(t.TempDir(), "missing.design"), 1); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+func TestLoadDesignRejectsGarbage(t *testing.T) {
+	if _, err := LoadDesign(bytes.NewReader([]byte("not a gob stream")), 1); err == nil {
+		t.Fatal("garbage accepted as a design")
+	}
+	// A valid gob of the wrong version must be rejected too.
+	var buf bytes.Buffer
+	f := getFixture(t)
+	cfg := DefaultSEIBuildConfig()
+	cfg.DynamicThreshold = false
+	design, err := BuildSEI(f.q, nil, cfg, rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := design.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadDesign(bytes.NewReader(truncated), 1); err == nil {
+		t.Fatal("truncated design accepted")
+	}
+}

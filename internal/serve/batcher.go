@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sei/internal/nn"
+	"sei/internal/obs"
+	"sei/internal/par"
+	"sei/internal/tensor"
+)
+
+// Typed rejection errors. Handlers map them onto HTTP status codes
+// (429 and 503); match with errors.Is.
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity
+	// and the predict was rejected rather than buffered unboundedly.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining marks predicts submitted after Close began.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Metric names the batcher feeds (scraped through /metrics). The
+// engine-level eval_images / predict_panics counters from internal/nn
+// appear alongside these when the same Recorder is shared.
+const (
+	MetricBatches   = "serve_batches"
+	MetricPredicts  = "serve_predicts"
+	MetricQueueFull = "serve_queue_full"
+	MetricCanceled  = "serve_canceled"
+	MetricBatchSize = "serve_batch_size"
+)
+
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// BatcherConfig sizes the micro-batcher.
+type BatcherConfig struct {
+	// MaxBatch is the most images coalesced into one engine call.
+	MaxBatch int
+	// MaxDelay bounds how long the first predict of a batch waits for
+	// company; latency cost of coalescing is at most this.
+	MaxDelay time.Duration
+	// QueueCap bounds the pending-predict queue. A full queue rejects
+	// with ErrQueueFull instead of buffering without limit.
+	QueueCap int
+	// Workers bounds the parallel engine per flush (0 = all cores,
+	// 1 = serial); labels are identical for any value.
+	Workers int
+	// Obs receives batcher and engine counters; nil disables recording.
+	Obs *obs.Recorder
+}
+
+// DefaultBatcherConfig returns serving defaults: batches of up to 64,
+// 2 ms of coalescing patience, a 256-deep queue, all cores.
+func DefaultBatcherConfig() BatcherConfig {
+	return BatcherConfig{MaxBatch: 64, MaxDelay: 2 * time.Millisecond, QueueCap: 256}
+}
+
+// job is one image's passage through the batcher. res is buffered so
+// a flush never blocks on a caller that stopped listening.
+type job struct {
+	c   nn.Classifier
+	img *tensor.Tensor
+	ctx context.Context
+	res chan nn.PredictResult
+}
+
+// Batcher coalesces concurrent predicts into bounded batches and runs
+// each batch on the deterministic parallel engine. Because the engine
+// validates, chunks and seeds a served batch exactly as the offline
+// evaluation path does, serving returns bit-identical labels to
+// EvaluateDesign for any batch composition and worker count.
+//
+// Classifiers submitted to one batch are grouped by identity, so they
+// must be comparable (the pipeline's classifiers are all pointers).
+type Batcher struct {
+	cfg   BatcherConfig
+	queue chan *job
+	done  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewBatcher validates the config, applies defaults for zero fields
+// and starts the coalescing loop.
+func NewBatcher(cfg BatcherConfig) (*Batcher, error) {
+	if err := par.Validate(cfg.Workers); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	def := DefaultBatcherConfig()
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = def.MaxBatch
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = def.MaxDelay
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = def.QueueCap
+	}
+	b := &Batcher{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueCap),
+		done:  make(chan struct{}),
+	}
+	go b.loop()
+	return b, nil
+}
+
+// QueueDepth reports how many predicts are waiting (for health
+// reporting; inherently racy).
+func (b *Batcher) QueueDepth() int { return len(b.queue) }
+
+// Draining reports whether Close has begun.
+func (b *Batcher) Draining() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Close stops accepting predicts, drains everything already queued
+// and waits for the loop to finish. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+// submit enqueues one job without blocking. The mutex serializes the
+// send against Close so a drain can never race a send on the closed
+// channel.
+func (b *Batcher) submit(j *job) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrDraining
+	}
+	select {
+	case b.queue <- j:
+		return nil
+	default:
+		b.cfg.Obs.Counter(MetricQueueFull).Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Predict classifies imgs against c through the batcher, returning one
+// result per image in order. The whole request is rejected with
+// ErrQueueFull / ErrDraining when it cannot be queued, and abandons
+// with ctx.Err() when the context ends first; queued-but-unprocessed
+// images of an abandoned request are skipped at flush time.
+func (b *Batcher) Predict(ctx context.Context, c nn.Classifier, imgs []*tensor.Tensor) ([]nn.PredictResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make([]*job, len(imgs))
+	for i, img := range imgs {
+		j := &job{c: c, img: img, ctx: ctx, res: make(chan nn.PredictResult, 1)}
+		if err := b.submit(j); err != nil {
+			return nil, err
+		}
+		jobs[i] = j
+	}
+	out := make([]nn.PredictResult, len(jobs))
+	for i, j := range jobs {
+		select {
+		case r := <-j.res:
+			out[i] = r
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// loop gathers jobs into batches: the first job of a batch waits at
+// most MaxDelay for up to MaxBatch-1 companions, then the batch
+// flushes. Exits when the queue is closed and drained.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	for j := range b.queue {
+		batch := []*job{j}
+		timer := time.NewTimer(b.cfg.MaxDelay)
+	gather:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case next, ok := <-b.queue:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, next)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+	}
+}
+
+// flush groups a batch by classifier and runs each group through the
+// engine. Per-image panics are already contained inside the engine
+// (nn.PredictBatchObs); the recover here is the last line of defense
+// keeping the loop alive if the batcher's own bookkeeping fails.
+func (b *Batcher) flush(batch []*job) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, j := range batch {
+				select {
+				case j.res <- nn.PredictResult{Label: -1, Err: fmt.Errorf("%w: internal failure: %v", nn.ErrBadInput, r)}:
+				default:
+				}
+			}
+		}
+	}()
+	b.cfg.Obs.Counter(MetricBatches).Add(1)
+	b.cfg.Obs.Histogram(MetricBatchSize, batchSizeBounds).Observe(float64(len(batch)))
+	type group struct {
+		c    nn.Classifier
+		jobs []*job
+	}
+	var groups []*group
+next:
+	for _, j := range batch {
+		if j.ctx != nil && j.ctx.Err() != nil {
+			b.cfg.Obs.Counter(MetricCanceled).Add(1)
+			j.res <- nn.PredictResult{Label: -1, Err: j.ctx.Err()}
+			continue
+		}
+		for _, g := range groups {
+			if g.c == j.c {
+				g.jobs = append(g.jobs, j)
+				continue next
+			}
+		}
+		groups = append(groups, &group{c: j.c, jobs: []*job{j}})
+	}
+	for _, g := range groups {
+		imgs := make([]*tensor.Tensor, len(g.jobs))
+		for i, j := range g.jobs {
+			imgs[i] = j.img
+		}
+		res := nn.PredictBatchObs(b.cfg.Obs, g.c, imgs, b.cfg.Workers)
+		b.cfg.Obs.Counter(MetricPredicts).Add(int64(len(res)))
+		for i, j := range g.jobs {
+			j.res <- res[i]
+		}
+	}
+}

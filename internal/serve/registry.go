@@ -1,0 +1,124 @@
+// Package serve is the batched inference service over the sei
+// pipeline: a design registry backed by gob snapshots on disk, a
+// micro-batcher that coalesces concurrent predicts onto the
+// deterministic parallel engine, and an HTTP front end with panic
+// containment, backpressure and graceful drain. Results are
+// bit-identical to the offline evaluation path (nn.PredictBatch /
+// EvaluateDesign) for any batch composition and worker count.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"sei/internal/nn"
+	"sei/internal/seicore"
+)
+
+// ErrUnknownDesign marks lookups of names that are neither registered
+// nor present as a snapshot file. Match with errors.Is.
+var ErrUnknownDesign = errors.New("serve: unknown design")
+
+// DesignExt is the snapshot filename extension the registry scans for.
+const DesignExt = ".design"
+
+// Registry resolves design names to classifiers. Programmatic entries
+// come in through Register; everything else is loaded lazily from
+// <dir>/<name>.design snapshots (seicore.LoadDesignFile) and cached,
+// so repeated predicts against the same design pay the gob decode
+// once.
+type Registry struct {
+	dir  string
+	seed int64
+
+	mu     sync.Mutex
+	loaded map[string]nn.Classifier
+}
+
+// NewRegistry returns a registry over dir (may be empty for a purely
+// programmatic registry). seed re-anchors read-noise streams of noisy
+// loaded designs, as in seicore.LoadDesign.
+func NewRegistry(dir string, seed int64) *Registry {
+	return &Registry{dir: dir, seed: seed, loaded: map[string]nn.Classifier{}}
+}
+
+// Register adds (or replaces) a named classifier, shadowing any
+// snapshot file of the same name.
+func (r *Registry) Register(name string, c nn.Classifier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.loaded[name] = c
+}
+
+// validName rejects anything that could escape the snapshot directory
+// or hide files: path separators, traversal, leading dots.
+func validName(name string) bool {
+	if name == "" || strings.HasPrefix(name, ".") {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Get resolves a design name, loading and caching its snapshot on
+// first use. Unknown names (and names that do not survive path
+// validation) fail with ErrUnknownDesign.
+func (r *Registry) Get(name string) (nn.Classifier, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.loaded[name]; ok {
+		return c, nil
+	}
+	if !validName(name) || r.dir == "" {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDesign, name)
+	}
+	path := filepath.Join(r.dir, name+DesignExt)
+	if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDesign, name)
+	}
+	d, err := seicore.LoadDesignFile(path, r.seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading design %q: %w", name, err)
+	}
+	r.loaded[name] = d
+	return d, nil
+}
+
+// Names lists every resolvable design: registered classifiers plus
+// snapshot files in the directory, sorted and deduplicated.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	seen := map[string]bool{}
+	for name := range r.loaded {
+		seen[name] = true
+	}
+	r.mu.Unlock()
+	if r.dir != "" {
+		if entries, err := os.ReadDir(r.dir); err == nil {
+			for _, e := range entries {
+				name := strings.TrimSuffix(e.Name(), DesignExt)
+				if !e.IsDir() && strings.HasSuffix(e.Name(), DesignExt) && validName(name) {
+					seen[name] = true
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

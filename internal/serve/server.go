@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/obs"
+	"sei/internal/tensor"
+)
+
+// HTTP limits. Requests beyond them are rejected with 400, never
+// buffered.
+const (
+	// MaxImagesPerRequest bounds one predict request; larger batches
+	// should be split client-side (the batcher re-coalesces them).
+	MaxImagesPerRequest = 1024
+	// maxBodyBytes bounds the request body (1024 images of 784 JSON
+	// floats fit comfortably).
+	maxBodyBytes = 32 << 20
+)
+
+// MetricHTTPPanics counts handler panics contained by the recovery
+// middleware (500 to the client, process stays up).
+const MetricHTTPPanics = "serve_http_panics"
+
+// Options wires a handler together.
+type Options struct {
+	Registry *Registry
+	Batcher  *Batcher
+	// Obs backs /metrics and the handler counters; sharing it with the
+	// batcher gives one scrape surface. Nil disables recording.
+	Obs *obs.Recorder
+	// Timeout bounds one predict request end to end (queue wait plus
+	// evaluation). Zero means DefaultTimeout.
+	Timeout time.Duration
+}
+
+// DefaultTimeout bounds a predict request when Options.Timeout is 0.
+const DefaultTimeout = 30 * time.Second
+
+// predictRequest is the POST /v1/predict body: a design name and a
+// batch of flattened 28×28 images (784 pixels each, values in [0,1]).
+type predictRequest struct {
+	Design string      `json:"design"`
+	Images [][]float64 `json:"images"`
+}
+
+// predictResult is one image's outcome. Failed images carry label -1
+// and an error string; the rest of the batch is unaffected.
+type predictResult struct {
+	Label int    `json:"label"`
+	Error string `json:"error,omitempty"`
+}
+
+type predictResponse struct {
+	Design  string          `json:"design"`
+	Results []predictResult `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type server struct {
+	opts Options
+}
+
+// NewHandler returns the service's HTTP surface:
+//
+//	POST /v1/predict  — batched classification
+//	GET  /v1/designs  — resolvable design names
+//	GET  /healthz     — liveness and drain state
+//	GET  /metrics     — Prometheus text exposition
+//
+// Every handler is wrapped in panic recovery: a bug answers 500 and
+// increments serve_http_panics instead of killing the process.
+func NewHandler(opts Options) http.Handler {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	s := &server{opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.recoverPanics(mux)
+}
+
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.opts.Obs.Counter(MetricHTTPPanics).Add(1)
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// statusFor maps the service's typed errors onto HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownDesign):
+		return http.StatusNotFound
+	case errors.Is(err, nn.ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "malformed request body: " + err.Error()})
+		return
+	}
+	if req.Design == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing design name"})
+		return
+	}
+	if len(req.Images) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "no images"})
+		return
+	}
+	if len(req.Images) > MaxImagesPerRequest {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("%d images exceeds the per-request limit of %d", len(req.Images), MaxImagesPerRequest)})
+		return
+	}
+	c, err := s.opts.Registry.Get(req.Design)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		return
+	}
+	imgs := make([]*tensor.Tensor, len(req.Images))
+	for i, px := range req.Images {
+		if len(px) != mnist.Side*mnist.Side {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("image %d has %d pixels, want %d", i, len(px), mnist.Side*mnist.Side)})
+			return
+		}
+		imgs[i] = tensor.FromSlice(px, 1, mnist.Side, mnist.Side)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	res, err := s.opts.Batcher.Predict(ctx, c, imgs)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+		return
+	}
+	resp := predictResponse{Design: req.Design, Results: make([]predictResult, len(res))}
+	failed := 0
+	for i, pr := range res {
+		resp.Results[i].Label = pr.Label
+		if pr.Err != nil {
+			resp.Results[i].Error = pr.Err.Error()
+			failed++
+		}
+	}
+	// Per-image failures ride inside a 200 as long as something
+	// succeeded; a fully failed batch answers with the first error's
+	// status so single-image clients see a plain 4xx/5xx.
+	status := http.StatusOK
+	if failed == len(res) {
+		for _, pr := range res {
+			if pr.Err != nil {
+				status = statusFor(pr.Err)
+				break
+			}
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Designs []string `json:"designs"`
+	}{Designs: s.opts.Registry.Names()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type health struct {
+		Status     string `json:"status"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	if s.opts.Batcher.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable,
+			health{Status: "draining", QueueDepth: s.opts.Batcher.QueueDepth()})
+		return
+	}
+	writeJSON(w, http.StatusOK, health{Status: "ok", QueueDepth: s.opts.Batcher.QueueDepth()})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.opts.Obs != nil {
+		s.opts.Obs.WritePrometheus(w)
+	}
+}

@@ -1,0 +1,63 @@
+package sei
+
+import (
+	"errors"
+	"testing"
+
+	"sei/internal/tensor"
+)
+
+func TestPredictBatchBitIdenticalToEvaluateDesign(t *testing.T) {
+	q, train, test := designFix(t)
+	d, err := BuildDesign(q, train, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := EvaluateDesign(d, test)
+	for _, workers := range []int{1, 2, 8} {
+		res, err := PredictBatch(d, test.Images, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := 0
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("workers=%d image %d: %v", workers, i, r.Err)
+			}
+			if r.Label != test.Labels[i] {
+				wrong++
+			}
+		}
+		if got := float64(wrong) / float64(test.Len()); got != offline {
+			t.Fatalf("workers=%d: batch error rate %v != offline %v", workers, got, offline)
+		}
+	}
+	if _, err := PredictBatch(d, test.Images, -1); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+func TestPredictRejectsMalformedImages(t *testing.T) {
+	q, train, test := designFix(t)
+	d, err := BuildDesign(q, train, DefaultBuildOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, img := range map[string]*Image{
+		"nil":         nil,
+		"empty":       tensor.New(1, 1, 1),
+		"wrong shape": tensor.New(1, 14, 14),
+	} {
+		if _, err := Predict(d, img); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("%s image: err = %v, want ErrBadInput", name, err)
+		}
+	}
+	// A valid image still predicts after the failures.
+	label, err := Predict(d, test.Images[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label < 0 || label > 9 {
+		t.Fatalf("label %d out of range", label)
+	}
+}

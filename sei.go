@@ -40,6 +40,7 @@ import (
 	"sei/internal/quant"
 	"sei/internal/rram"
 	"sei/internal/seicore"
+	"sei/internal/tensor"
 )
 
 // Re-exported core types. They originate in internal packages; every
@@ -177,13 +178,59 @@ func BuildSEIDesign(q *QuantizedNet, train *Dataset, seed int64) (*SEIDesign, er
 	return seicore.BuildSEI(q, train, cfg, rand.New(rand.NewSource(seed)))
 }
 
+// SaveDesignFile persists a built design — programmed effective
+// weights and calibrated thresholds — to path, creating parent
+// directories. A design loaded back predicts bit-identically.
+func SaveDesignFile(d *SEIDesign, path string) error { return d.SaveFile(path) }
+
+// LoadDesignFile reads a design written by SaveDesignFile. seed
+// re-anchors read-noise streams for designs whose device model is
+// noisy; noise-free designs (the default) ignore it.
+func LoadDesignFile(path string, seed int64) (*SEIDesign, error) {
+	return seicore.LoadDesignFile(path, seed)
+}
+
 // Classifier is anything that maps an image to a class — float
 // networks, quantized networks, and hardware designs all implement it.
 type Classifier = nn.Classifier
 
+// Image is one input picture: a [1, 28, 28] tensor with pixel values
+// in [0, 1]. Dataset.Images holds them; the serving API predicts them.
+type Image = tensor.Tensor
+
+// ErrBadInput marks predictions rejected because of malformed input —
+// wrong image shape, non-finite pixels, or a layer panic recovered at
+// the facade boundary. Match with errors.Is.
+var ErrBadInput = nn.ErrBadInput
+
+// PredictResult is one image's outcome in a batch predict: a label, or
+// an ErrBadInput-wrapped error (in which case Label is -1).
+type PredictResult = nn.PredictResult
+
 // EvaluateDesign returns any classifier's test error rate.
 func EvaluateDesign(d Classifier, test *Dataset) float64 {
 	return nn.ClassifierErrorRate(d, test)
+}
+
+// Predict classifies one image, validating it first and containing any
+// layer panic a malformed image provokes: the process never dies, the
+// caller gets an ErrBadInput-wrapped error instead.
+func Predict(d Classifier, img *Image) (int, error) {
+	return nn.Predict(d, img)
+}
+
+// PredictBatch classifies a batch of images on the deterministic
+// parallel engine (workers as in PipelineConfig: 0 = all cores, 1 =
+// serial) and returns one result per image. It uses the exact chunk
+// grid and per-chunk noise seeding of EvaluateDesign, so a batch in
+// dataset order yields labels bit-identical to the offline evaluation
+// at any batch size and worker count. Malformed images fail
+// individually with ErrBadInput; the rest of the batch is unaffected.
+func PredictBatch(d Classifier, imgs []*Image, workers int) ([]PredictResult, error) {
+	if err := par.Validate(workers); err != nil {
+		return nil, fmt.Errorf("sei: %w", err)
+	}
+	return nn.PredictBatch(d, imgs, workers), nil
 }
 
 // PipelineConfig sizes RunPipeline.
