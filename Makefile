@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-scaling vet fmt ci
+.PHONY: build test race bench bench-json bench-smoke bench-scaling vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Machine-readable record of the inference fast path: the single-image
+# fast/float pair and the batch bench, converted to BENCH_PR4.json
+# (ns/op, B/op, allocs/op, images/sec, derived speedup).
+bench-json:
+	$(GO) test -bench='SEIPredict' -benchmem -benchtime=2s -run='^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+	@cat BENCH_PR4.json
+
+# One iteration of every benchmark in every package: a compile-and-run
+# smoke that keeps the bench suite from rotting without paying full
+# measurement time. CI runs this on every push.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Parallel-scaling row: the same deterministic workload at 1, 2 and 4
 # workers (Workers=0 tracks GOMAXPROCS, which -cpu sets).
@@ -36,3 +50,4 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs ./internal/par ./internal/serve ./internal/seicore
 	$(GO) test -count=1 -run TestServeSmokeSIGTERM ./cmd/seiserve
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -1,0 +1,88 @@
+package sei
+
+// Inference-path benchmarks and allocation guards for the bit-packed
+// SEI fast path (internal/seicore/fast.go). BenchmarkSEIPredict (in
+// bench_test.go) runs the default dispatch — the fast path for the
+// ideal-analog default device; BenchmarkSEIPredictFloat pins the same
+// design to the float path so the pair measures the fast-path speedup
+// directly. `make bench-json` records all three plus allocs/op in
+// BENCH_PR4.json.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sei/internal/nn"
+	"sei/internal/seicore"
+)
+
+// benchSEIDesign builds the benchmark SEI design: trained/quantized
+// Network 2 on the default (ideal-analog) device, static threshold.
+func benchSEIDesign(b testing.TB) *seicore.SEIDesign {
+	b.Helper()
+	c := benchContext(b)
+	q := c.QuantizedCalibrated(2)
+	cfg := seicore.DefaultSEIBuildConfig()
+	cfg.DynamicThreshold = false
+	d, err := seicore.BuildSEI(q, nil, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSEIPredictFloat is BenchmarkSEIPredict with the fast path
+// disabled: the pre-packing float implementation, the baseline for the
+// speedup number in BENCH_PR4.json.
+func BenchmarkSEIPredictFloat(b *testing.B) {
+	d := benchSEIDesign(b)
+	d.SetFastPath(false)
+	defer d.SetFastPath(true)
+	img := benchContext(b).Test.Images[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Predict(img)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+// BenchmarkSEIPredictBatch measures batched inference through the
+// parallel engine on all cores — the serving path's throughput shape.
+// The result buffer is reused across iterations (nn.PredictBatchInto),
+// so steady-state allocations amortize to near zero per image.
+func BenchmarkSEIPredictBatch(b *testing.B) {
+	d := benchSEIDesign(b)
+	imgs := benchContext(b).Test.Images
+	var res []nn.PredictResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = nn.PredictBatchInto(nil, d, imgs, 0, res)
+	}
+	b.StopTimer()
+	for i, r := range res {
+		if r.Err != nil {
+			b.Fatalf("image %d: %v", i, r.Err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(imgs))/b.Elapsed().Seconds(), "images/sec")
+}
+
+// TestSEIPredictZeroAllocsSteadyState is the allocation guard on the
+// real benchmark design (trained Network 2, not the small test
+// fixture): once the scratch pool is warm, a fast-path Predict performs
+// zero heap allocations per image.
+func TestSEIPredictZeroAllocsSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full benchmark context")
+	}
+	if raceEnabled {
+		t.Skip("sync.Pool is lossy under -race; allocation counts are not meaningful")
+	}
+	d := benchSEIDesign(t)
+	img := benchContext(t).Test.Images[0]
+	if avg := testing.AllocsPerRun(100, func() { d.Predict(img) }); avg != 0 {
+		t.Errorf("fast-path Predict allocates %.1f objects per image, want 0", avg)
+	}
+}

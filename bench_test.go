@@ -32,8 +32,9 @@ var (
 	benchCtx  *experiments.Context
 )
 
-// benchContext shares one trained/quantized Network 2 across benches.
-func benchContext(b *testing.B) *experiments.Context {
+// benchContext shares one trained/quantized Network 2 across benches
+// (and the allocation-guard tests that ride along with them).
+func benchContext(b testing.TB) *experiments.Context {
 	b.Helper()
 	benchOnce.Do(func() {
 		benchCtx = experiments.NewContext(experiments.QuickConfig())
@@ -459,7 +460,11 @@ func BenchmarkQuantizedForward(b *testing.B) {
 	}
 }
 
-// BenchmarkSEIPredict measures one SEI hardware classification.
+// BenchmarkSEIPredict measures one SEI hardware classification on the
+// default dispatch (the bit-packed fast path for the ideal-analog
+// default device). allocs/op must be 0 — the zero-allocation contract
+// of the fast path; BenchmarkSEIPredictFloat in bench_predict_test.go
+// is the float-path baseline it is compared against in BENCH_PR4.json.
 func BenchmarkSEIPredict(b *testing.B) {
 	c := benchContext(b)
 	q := c.QuantizedCalibrated(2)
@@ -470,10 +475,12 @@ func BenchmarkSEIPredict(b *testing.B) {
 		b.Fatal(err)
 	}
 	img := c.Test.Images[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Predict(img)
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images/sec")
 }
 
 // BenchmarkSEIPredictInstrumented is BenchmarkSEIPredict with a live

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sei
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSEIPredictFloat-8 	    8922	    278289 ns/op	      3593 images/sec	  276104 B/op	    6173 allocs/op
+BenchmarkSEIPredictBatch 	     122	  19678956 ns/op	     10163 images/sec	    4944 B/op	     201 allocs/op
+BenchmarkSEIPredict      	   28508	     83641 ns/op	       0 B/op	       0 allocs/op
+some test log line that is not a benchmark
+PASS
+ok  	sei	15.591s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "sei" {
+		t.Errorf("header = %q/%q/%q", rep.GOOS, rep.GOARCH, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	float := rep.Benchmarks[0]
+	if float.Name != "SEIPredictFloat" { // -8 suffix stripped
+		t.Errorf("name = %q", float.Name)
+	}
+	if float.Iterations != 8922 {
+		t.Errorf("iterations = %d", float.Iterations)
+	}
+	want := map[string]float64{
+		"ns/op": 278289, "images/sec": 3593, "B/op": 276104, "allocs/op": 6173,
+	}
+	for unit, v := range want {
+		if float.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, float.Metrics[unit], v)
+		}
+	}
+	if got := rep.Benchmarks[2].Metrics["allocs/op"]; got != 0 {
+		t.Errorf("fast-path allocs/op = %v, want 0", got)
+	}
+	speedup := rep.Derived["sei_predict_speedup_x"]
+	if speedup < 3.3 || speedup > 3.4 {
+		t.Errorf("speedup = %v, want 278289/83641 ≈ 3.33", speedup)
+	}
+}
+
+func TestParseSkipsMalformedLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader("BenchmarkOddFieldCount 12 34\nBenchmarkBad x ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from malformed input, want 0", len(rep.Benchmarks))
+	}
+}

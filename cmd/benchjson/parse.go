@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line: the benchmark name (stripped of
+// the "Benchmark" prefix and the -GOMAXPROCS suffix), its iteration
+// count, and every value/unit pair the line reported — ns/op, B/op,
+// allocs/op and any custom b.ReportMetric units such as images/sec.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the full JSON document: the environment header lines go
+// test prints (goos/goarch/pkg/cpu), the benchmarks, and derived
+// cross-benchmark numbers.
+type Report struct {
+	GOOS       string             `json:"goos,omitempty"`
+	GOARCH     string             `json:"goarch,omitempty"`
+	Pkg        string             `json:"pkg,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+// Parse reads `go test -bench` output and extracts the report.
+// Non-benchmark lines (PASS, ok, test log output) are skipped, so the
+// full `go test` stream can be piped in unfiltered.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.derive()
+	return rep, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   1234   5678 ns/op   90 images/sec   0 B/op   0 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+// derive adds cross-benchmark numbers: the fast-over-float speedup of
+// the single-image SEI predict pair, when both are present.
+func (r *Report) derive() {
+	var fast, float *Benchmark
+	for i := range r.Benchmarks {
+		switch r.Benchmarks[i].Name {
+		case "SEIPredict":
+			fast = &r.Benchmarks[i]
+		case "SEIPredictFloat":
+			float = &r.Benchmarks[i]
+		}
+	}
+	if fast == nil || float == nil {
+		return
+	}
+	fns, fok := fast.Metrics["ns/op"]
+	bns, bok := float.Metrics["ns/op"]
+	if fok && bok && fns > 0 {
+		if r.Derived == nil {
+			r.Derived = map[string]float64{}
+		}
+		r.Derived["sei_predict_speedup_x"] = bns / fns
+	}
+}

@@ -182,3 +182,73 @@ func TestInstrumentedPipelineWorkerCountInvariant(t *testing.T) {
 		}
 	}
 }
+
+// The bit-packed fast path (internal/seicore/fast.go) and the float
+// path are two implementations of one contract: for an ideal-analog
+// design, predictions AND hardware-counter totals must be bit-identical
+// between the paths, at every worker count. This pins the fast path's
+// accumulation-order and counter-placement guarantees end to end, on a
+// design forced to split so multi-block kernels are exercised.
+func TestFastPathFloatPathWorkerCountInvariant(t *testing.T) {
+	train, test := mnist.SyntheticSplit(300, 120, 7)
+	net := nn.NewTableNetwork(1, 7)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Seed = 7
+	nn.Train(net, train, tcfg)
+	scfg := quant.DefaultSearchConfig()
+	scfg.Samples = 120
+	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, scfg)
+	if err != nil {
+		t.Fatalf("quantize: %v", err)
+	}
+	bcfg := seicore.DefaultSEIBuildConfig()
+	bcfg.Layer.MaxCrossbar = 128 // force a split so multi-block kernels run
+	bcfg.CalibImages = 20
+	d, err := seicore.BuildSEI(q, train, bcfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("build SEI: %v", err)
+	}
+
+	type result struct {
+		labels   []int
+		counters map[string]int64
+	}
+	run := func(fast bool, workers int) result {
+		rec := obs.New()
+		d.Instrument(rec)
+		q.Instrument(rec)
+		d.SetFastPath(fast)
+		defer func() {
+			d.Instrument(nil)
+			q.Instrument(nil)
+			d.SetFastPath(true)
+		}()
+		res := nn.PredictBatchObs(rec, d, test.Images, workers)
+		labels := make([]int, len(res))
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("fast=%v workers=%d image %d: %v", fast, workers, i, r.Err)
+			}
+			labels[i] = r.Label
+		}
+		return result{labels: labels, counters: rec.CounterValues()}
+	}
+
+	base := run(true, 1)
+	for _, workers := range []int{1, 2, 8} {
+		for _, fast := range []bool{true, false} {
+			if fast && workers == 1 {
+				continue // the baseline itself
+			}
+			got := run(fast, workers)
+			if !reflect.DeepEqual(got.labels, base.labels) {
+				t.Errorf("fast=%v workers=%d: labels diverge from fast serial baseline", fast, workers)
+			}
+			if !reflect.DeepEqual(got.counters, base.counters) {
+				t.Errorf("fast=%v workers=%d: counters diverge:\n got  %v\n want %v",
+					fast, workers, got.counters, base.counters)
+			}
+		}
+	}
+}

@@ -89,9 +89,21 @@ func PredictBatch(c Classifier, imgs []*tensor.Tensor, workers int) []PredictRes
 // scheduling counters, the eval_images sharded counter, and
 // predict_panics on rec. A nil rec records nothing.
 func PredictBatchObs(rec *obs.Recorder, c Classifier, imgs []*tensor.Tensor, workers int) []PredictResult {
+	return PredictBatchInto(rec, c, imgs, workers, nil)
+}
+
+// PredictBatchInto is PredictBatchObs writing its results into dst,
+// which is grown only when its capacity is insufficient — a serving
+// loop can reuse one result buffer across flushes instead of
+// allocating per batch. Every slot in the returned slice is
+// overwritten. Returns dst resliced to len(imgs).
+func PredictBatchInto(rec *obs.Recorder, c Classifier, imgs []*tensor.Tensor, workers int, dst []PredictResult) []PredictResult {
 	w := evalWorkers(c, workers)
 	n := len(imgs)
-	out := make([]PredictResult, n)
+	if cap(dst) < n {
+		dst = make([]PredictResult, n)
+	}
+	out := dst[:n]
 	sc := rec.Sharded(MetricEvalImages, par.NumChunks(n, par.DefaultChunkSize))
 	par.ForEachChunkRec(rec, w, n, par.DefaultChunkSize, func(ch par.Chunk) {
 		sc.Add(ch.Index, int64(ch.Hi-ch.Lo))

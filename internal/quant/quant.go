@@ -68,6 +68,13 @@ type QuantizedNet struct {
 // once for all of them.
 func (q *QuantizedNet) Instrument(rec *obs.Recorder) { q.hw = rec.HW() }
 
+// CountORPool records n OR-pool window reductions on the net's
+// hardware counters (a no-op when uninstrumented). External binarized
+// data paths that fuse pooling into the stage write-out — seicore's
+// bit-packed fast path — use it to keep counter totals bit-identical
+// to convStage's own accounting.
+func (q *QuantizedNet) CountORPool(n int64) { q.hw.ORPool(n) }
+
 // Extract decomposes a trained nn.Network of the paper's shape
 // (conv [relu] [pool] ... flatten dense) into quantizable stages. The
 // weights are deep-copied. Thresholds are zero and must be set by

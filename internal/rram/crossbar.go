@@ -21,6 +21,7 @@ type Crossbar struct {
 
 	g      *tensor.Tensor // programmed conductances [rows, cols]
 	levels []int          // programmed level per cell (row-major), for inspection
+	nv     []float64      // scratch for the nonlinear-transfer input copy
 }
 
 // NewCrossbar allocates an unprogrammed crossbar (all cells at GOff).
@@ -114,6 +115,12 @@ func (c *Crossbar) Conductance(row, col int) float64 { return c.g.At(row, col) }
 // passing nil with ReadNoiseSigma > 0 is an error (a read cannot
 // invent its noise stream), as is an input of the wrong length — both
 // are reachable from user data and must not kill the process.
+//
+// When IVNonlinearity > 0 the transfer-curve input copy is kept in a
+// scratch slice on the crossbar (reused across calls), so MVM is not
+// safe for concurrent use on a shared crossbar under that model. No
+// current caller shares a nonlinear crossbar across goroutines; clone
+// the crossbar if one ever must.
 func (c *Crossbar) MVM(v []float64, rng *rand.Rand) ([]float64, error) {
 	if len(v) != c.Rows {
 		return nil, fmt.Errorf("rram: MVM input length %d, want %d", len(v), c.Rows)
@@ -123,7 +130,10 @@ func (c *Crossbar) MVM(v []float64, rng *rand.Rand) ([]float64, error) {
 	}
 	if c.Model.IVNonlinearity > 0 {
 		f := c.Model.Transfer()
-		nv := make([]float64, len(v))
+		if cap(c.nv) < len(v) {
+			c.nv = make([]float64, len(v))
+		}
+		nv := c.nv[:len(v)]
 		for j, x := range v {
 			nv[j] = f(x)
 		}

@@ -135,3 +135,23 @@ func TestMVMNonlinearDistortsAnalogNotBinary(t *testing.T) {
 		t.Fatalf("analog input scaled uniformly (ratio %v = gain %v); expected distortion", ratio, gain)
 	}
 }
+
+// TestMVMNonlinearScratchReused pins that the transfer-curve input copy
+// is kept in the crossbar's scratch slice: a steady-state nonlinear MVM
+// allocates only its output slice.
+func TestMVMNonlinearScratchReused(t *testing.T) {
+	m := IdealDeviceModel(4)
+	m.IVNonlinearity = 2
+	cb, err := NewCrossbar(8, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, 0, 0.5, 1, 0, 0.25, 1, 0}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := cb.MVM(v, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 1 {
+		t.Errorf("nonlinear MVM allocates %.1f objects per call, want ≤ 1 (the output slice)", avg)
+	}
+}

@@ -3,6 +3,7 @@ package seicore
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"sei/internal/mnist"
 	"sei/internal/nn"
@@ -93,7 +94,33 @@ type SEIDesign struct {
 	// CalibResults records per-stage calibration outcomes (stage index
 	// ≥ 1), when calibration ran.
 	CalibResults map[int]CalibrationResult
+
+	// fast caches the fast-path eligibility decision (ideal-analog
+	// device models everywhere; see fast.go) and scratch holds the
+	// shared *seiScratch arena pool. Both are set once by initFastPath
+	// at build/load time, before the design is shared across
+	// goroutines. fastOff is SetFastPath's override for benchmarks and
+	// path-equivalence tests.
+	fast    bool
+	fastOff bool
+	scratch *sync.Pool
 }
+
+// initFastPath caches the fast-path decision and creates the scratch
+// arena pool. Called once at construction (BuildSEI / LoadDesign).
+func (d *SEIDesign) initFastPath() {
+	d.fast = d.fastEligible()
+	if d.fast {
+		d.scratch = &sync.Pool{}
+	}
+}
+
+// SetFastPath enables (the default for eligible designs) or disables
+// the bit-packed fast path. Disabling forces the float path — used by
+// benchmarks and by the determinism tests that pin fast-vs-float
+// bit-identity. It cannot enable the fast path on noisy/nonlinear
+// designs. Not safe to call concurrently with evaluation.
+func (d *SEIDesign) SetFastPath(on bool) { d.fastOff = !on }
 
 var _ quant.StageEval = (*SEIDesign)(nil)
 
@@ -136,8 +163,11 @@ func BuildSEI(q *quant.QuantizedNet, train *mnist.Dataset, cfg SEIBuildConfig, r
 	d.FC = fc
 
 	// Instrument before calibration so the γ/D search's hardware
-	// activity is part of the run report.
+	// activity is part of the run report, and enable the fast path so
+	// the search itself runs on it (results are bit-identical either
+	// way).
 	d.Instrument(cfg.Obs)
+	d.initFastPath()
 
 	if cfg.DynamicThreshold && train != nil && train.Len() > 0 {
 		if err := d.calibrate(train, cfg); err != nil {
@@ -316,7 +346,23 @@ func (d *SEIDesign) EvalConv(l int, in []float64) []bool {
 func (d *SEIDesign) EvalFC(in []float64) []float64 { return d.FC.Eval(in) }
 
 // Predict classifies one image through the SEI hardware simulation.
+// This is the fast path's single dispatch point: ideal-analog designs
+// (no read noise, IR drop or I-V nonlinearity — the Table 4/5 default)
+// run the bit-packed, allocation-free path of fast.go; noisy/nonlinear
+// designs keep the float path. Both produce bit-identical labels and
+// hardware-counter totals; the scratch pool hands each goroutine its
+// own arena, so a shared noise-free design stays safe under the
+// parallel engine.
 func (d *SEIDesign) Predict(img *tensor.Tensor) int {
+	if d.fast && !d.fastOff && d.scratch != nil {
+		s, _ := d.scratch.Get().(*seiScratch)
+		if s == nil {
+			s = newSEIScratch(d)
+		}
+		label := d.predictFast(img, s)
+		d.scratch.Put(s)
+		return label
+	}
 	return d.Q.PredictWith(d, img)
 }
 

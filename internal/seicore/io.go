@@ -94,6 +94,7 @@ func restoreBlocks(snaps []blockSnapshot, m int) ([]seiBlock, error) {
 		if s.W0 != nil {
 			blocks[i].w0 = append([]float64(nil), s.W0...)
 		}
+		blocks[i].initFast()
 	}
 	return blocks, nil
 }
@@ -214,6 +215,11 @@ func LoadDesign(r io.Reader, seed int64) (*SEIDesign, error) {
 	if snap.FC.Model.ReadNoiseSigma > 0 {
 		d.FC.noise = layerRNG(seed, rngIdx)
 	}
+	// Snapshots store only programmed state; re-derive the fast-path
+	// eligibility and scratch arena so a loaded design predicts on the
+	// same path (and with the same zero-allocation profile) as the
+	// design that was saved.
+	d.initFastPath()
 	return d, nil
 }
 

@@ -78,6 +78,27 @@ func (l *MergedLayer) Eval(in []float64) []float64 {
 	return out
 }
 
+// evalIdealInto is the allocation-free variant of Eval for the
+// ideal-analog case (no I-V nonlinearity, no read noise — guaranteed
+// by the fast-path dispatch): outputs are written into out (len M)
+// with MatVecTInto, whose accumulation order is bit-identical to the
+// MatVecT call inside Eval. Hardware counters are recorded exactly as
+// Eval records them.
+func (l *MergedLayer) evalIdealInto(in, out []float64) {
+	if h := l.hw; h != nil {
+		ones := 0
+		for _, x := range in {
+			if x != 0 {
+				ones++
+			}
+		}
+		h.MVM(1)
+		h.ColumnActivations(int64(l.M))
+		h.ActiveInputs(int64(ones))
+	}
+	tensor.MatVecTInto(out, l.eff, in)
+}
+
 // EffectiveWeights exposes the programmed effective matrix for
 // inspection and tests.
 func (l *MergedLayer) EffectiveWeights() *tensor.Tensor { return l.eff }

@@ -13,6 +13,13 @@ import (
 // therefore safe to share across goroutines as-is, and noisy designs
 // hand out value clones whose RNGs are re-seeded per chunk so results
 // stay bit-identical for every worker count.
+//
+// The bit-packed fast path adds per-goroutine mutable scratch, but it
+// never lives on the shared design: Predict borrows an arena from the
+// design's sync.Pool (fast.go), so the chunked engine's workers each
+// reuse their own scratch across the images of a chunk — per-position
+// allocations are gone and CloneForEval can keep returning the shared
+// receiver for noise-free designs.
 
 // evalClone returns a copy sharing the blocks and threshold slices but
 // owning its noise RNG. rng may be nil for the noise-free case.

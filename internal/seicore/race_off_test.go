@@ -1,0 +1,5 @@
+//go:build !race
+
+package seicore
+
+const raceEnabled = false

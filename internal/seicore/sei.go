@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sei/internal/bitvec"
 	"sei/internal/obs"
 	"sei/internal/rram"
 	"sei/internal/tensor"
@@ -98,6 +99,23 @@ type seiBlock struct {
 	inputs []int          // logical input indices stored in this block
 	eff    *tensor.Tensor // [len(inputs), M] effective weights
 	w0     []float64      // per-local-row dynamic column (unipolar mode), nil otherwise
+	// contig marks blocks whose inputs are consecutive ascending
+	// logical indices (the natural-order split). The bit-packed fast
+	// path then iterates set bits of the input word directly instead of
+	// testing one bit per row. Derived from inputs at construction and
+	// load; see initFast.
+	contig bool
+}
+
+// initFast derives the fast-path metadata from the block's input list.
+func (b *seiBlock) initFast() {
+	b.contig = len(b.inputs) > 0
+	for i, j := range b.inputs {
+		if j != b.inputs[0]+i {
+			b.contig = false
+			break
+		}
+	}
 }
 
 // sums accumulates the block's analog column outputs for one input
@@ -120,6 +138,54 @@ func (b *seiBlock) sums(in []float64, m int) (main []float64, w0sum float64, one
 		}
 	}
 	return main, w0sum, ones
+}
+
+// sumsBits is the bit-packed, allocation-free variant of sums: the
+// active inputs arrive as a packed bit vector indexed in the block's
+// logical input space and the column sums are accumulated into the
+// caller's scratch slice main (len M, zeroed here). Rows are visited
+// in ascending local order — exactly the order of sums's skip-zero
+// loop — so the float accumulation is bit-identical to the float path
+// (the determinism goldens depend on this; see DESIGN.md §11).
+func (b *seiBlock) sumsBits(in *bitvec.Vec, main []float64) (w0sum float64, ones int) {
+	for c := range main {
+		main[c] = 0
+	}
+	m := len(main)
+	data := b.eff.Data()
+	if b.contig {
+		// Consecutive ascending inputs: walk the set bits of the
+		// block's window range word-wise, skipping 64 inactive rows per
+		// word test. Ascending logical order is ascending local order.
+		lo := b.inputs[0]
+		hi := lo + len(b.inputs)
+		for j := in.NextSet(lo); j >= 0 && j < hi; j = in.NextSet(j + 1) {
+			local := j - lo
+			ones++
+			row := data[local*m : (local+1)*m]
+			for c, v := range row {
+				main[c] += v
+			}
+			if b.w0 != nil {
+				w0sum += b.w0[local]
+			}
+		}
+		return w0sum, ones
+	}
+	for local, j := range b.inputs {
+		if !in.Get(j) {
+			continue
+		}
+		ones++
+		row := data[local*m : (local+1)*m]
+		for c, v := range row {
+			main[c] += v
+		}
+		if b.w0 != nil {
+			w0sum += b.w0[local]
+		}
+	}
+	return w0sum, ones
 }
 
 // SEIConvLayer is one conv stage mapped on SEI crossbars with sense-
@@ -198,6 +264,7 @@ func NewSEIConvLayer(w *tensor.Tensor, thr float64, opt LayerOptions, rng *rand.
 				b.w0[i] = w0[j]
 			}
 		}
+		b.initFast()
 		l.blocks = append(l.blocks, b)
 	}
 	for bi, b := range l.blocks {
@@ -244,6 +311,36 @@ func (l *SEIConvLayer) Eval(in []float64) []bool {
 		out[c] = f >= l.DigitalThreshold
 	}
 	return out
+}
+
+// evalFastCounts is the bit-packed, allocation-free core of Eval for
+// the ideal-analog case (no IR drop, no read noise, no I-V
+// nonlinearity — the fast-path dispatch guarantees applyAnalog would
+// be a no-op). It fills fired (len M, the per-column count of blocks
+// whose SA fired) using the caller's scratch slices; the caller turns
+// fired into output bits with the same `>= DigitalThreshold` compare
+// Eval uses. Hardware counters are recorded exactly as Eval records
+// them.
+func (l *SEIConvLayer) evalFastCounts(in *bitvec.Vec, fired []int, col []float64) {
+	for c := range fired {
+		fired[c] = 0
+	}
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		w0sum, ones := b.sumsBits(in, col)
+		l.hw.ActiveInputs(int64(ones))
+		ref := l.BaseThr[bi] + l.Gamma*(float64(ones)-l.OnesMean[bi]) + w0sum
+		for c, s := range col {
+			if s > ref {
+				fired[c]++
+			}
+		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.SACompares(int64(l.K * l.M))
+		h.ColumnActivations(int64(l.K * l.M))
+	}
 }
 
 // BlockSums exposes the per-block analog sums and active counts for
@@ -347,6 +444,7 @@ func NewSEIFCLayer(w *tensor.Tensor, bias []float64, opt LayerOptions, rng *rand
 				b.w0[i] = w0[j]
 			}
 		}
+		b.initFast()
 		l.blocks = append(l.blocks, b)
 	}
 	return l, nil
@@ -383,4 +481,25 @@ func (l *SEIFCLayer) Eval(in []float64) []float64 {
 		h.ColumnActivations(int64(l.K * l.M))
 	}
 	return out
+}
+
+// evalFastInto is the bit-packed, allocation-free variant of Eval for
+// the ideal-analog case: the flattened 0/1 activation map arrives
+// packed, scores are written into out (len M) and col is a per-block
+// column scratch (len M). Bias copy, block order and the `s − w0sum`
+// accumulation match Eval exactly, so scores are bit-identical.
+func (l *SEIFCLayer) evalFastInto(in *bitvec.Vec, out, col []float64) {
+	copy(out, l.Bias)
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		w0sum, ones := b.sumsBits(in, col)
+		l.hw.ActiveInputs(int64(ones))
+		for c, s := range col {
+			out[c] += s - w0sum
+		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.ColumnActivations(int64(l.K * l.M))
+	}
 }

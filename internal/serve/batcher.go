@@ -81,8 +81,29 @@ type Batcher struct {
 	queue chan *job
 	done  chan struct{}
 
+	// scr holds the coalescing loop's flush scratch — batch, group,
+	// image and result buffers reused across flushes so steady-state
+	// serving does not allocate per batch. Touched only by the loop
+	// goroutine; pointer slots are cleared after every flush so a
+	// drained batch's jobs and images are not retained.
+	scr flushScratch
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// group is one classifier's share of a batch.
+type group struct {
+	c    nn.Classifier
+	jobs []*job
+}
+
+// flushScratch is the loop's reusable flush state.
+type flushScratch struct {
+	batch  []*job
+	groups []group
+	imgs   []*tensor.Tensor
+	res    []nn.PredictResult
 }
 
 // NewBatcher validates the config, applies defaults for zero fields
@@ -185,7 +206,7 @@ func (b *Batcher) Predict(ctx context.Context, c nn.Classifier, imgs []*tensor.T
 func (b *Batcher) loop() {
 	defer close(b.done)
 	for j := range b.queue {
-		batch := []*job{j}
+		batch := append(b.scr.batch[:0], j)
 		timer := time.NewTimer(b.cfg.MaxDelay)
 	gather:
 		for len(batch) < b.cfg.MaxBatch {
@@ -200,7 +221,9 @@ func (b *Batcher) loop() {
 			}
 		}
 		timer.Stop()
+		b.scr.batch = batch
 		b.flush(batch)
+		b.scr.clear()
 	}
 }
 
@@ -221,11 +244,7 @@ func (b *Batcher) flush(batch []*job) {
 	}()
 	b.cfg.Obs.Counter(MetricBatches).Add(1)
 	b.cfg.Obs.Histogram(MetricBatchSize, batchSizeBounds).Observe(float64(len(batch)))
-	type group struct {
-		c    nn.Classifier
-		jobs []*job
-	}
-	var groups []*group
+	groups := b.scr.groups[:0]
 next:
 	for _, j := range batch {
 		if j.ctx != nil && j.ctx.Err() != nil {
@@ -233,23 +252,60 @@ next:
 			j.res <- nn.PredictResult{Label: -1, Err: j.ctx.Err()}
 			continue
 		}
-		for _, g := range groups {
-			if g.c == j.c {
-				g.jobs = append(g.jobs, j)
+		for gi := range groups {
+			if groups[gi].c == j.c {
+				groups[gi].jobs = append(groups[gi].jobs, j)
 				continue next
 			}
 		}
-		groups = append(groups, &group{c: j.c, jobs: []*job{j}})
-	}
-	for _, g := range groups {
-		imgs := make([]*tensor.Tensor, len(g.jobs))
-		for i, j := range g.jobs {
-			imgs[i] = j.img
+		// Reuse the retired group slot's jobs buffer when one exists.
+		if n := len(groups); n < cap(groups) {
+			groups = groups[:n+1]
+			groups[n].c = j.c
+			groups[n].jobs = append(groups[n].jobs[:0], j)
+		} else {
+			groups = append(groups, group{c: j.c, jobs: []*job{j}})
 		}
-		res := nn.PredictBatchObs(b.cfg.Obs, g.c, imgs, b.cfg.Workers)
+	}
+	b.scr.groups = groups
+	for gi := range groups {
+		g := &groups[gi]
+		imgs := b.scr.imgs[:0]
+		for _, j := range g.jobs {
+			imgs = append(imgs, j.img)
+		}
+		b.scr.imgs = imgs
+		res := nn.PredictBatchInto(b.cfg.Obs, g.c, imgs, b.cfg.Workers, b.scr.res)
+		b.scr.res = res
 		b.cfg.Obs.Counter(MetricPredicts).Add(int64(len(res)))
 		for i, j := range g.jobs {
 			j.res <- res[i]
 		}
+	}
+}
+
+// clear drops every pointer the last flush parked in the scratch so
+// finished jobs, their images and their errors become collectable; the
+// backing arrays themselves are kept for the next flush.
+func (s *flushScratch) clear() {
+	for i := range s.batch {
+		s.batch[i] = nil
+	}
+	s.batch = s.batch[:0]
+	for gi := range s.groups {
+		g := &s.groups[gi]
+		g.c = nil
+		for i := range g.jobs {
+			g.jobs[i] = nil
+		}
+		g.jobs = g.jobs[:0]
+	}
+	s.groups = s.groups[:0]
+	for i := range s.imgs {
+		s.imgs[i] = nil
+	}
+	s.imgs = s.imgs[:0]
+	for i := range s.res {
+		s.res[i] = nn.PredictResult{}
 	}
 }

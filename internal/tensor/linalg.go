@@ -36,6 +36,28 @@ func MatVecT(a *Tensor, x []float64) []float64 {
 		panic(fmt.Sprintf("tensor: MatVecT dimension mismatch: matrix %dx%d, vector %d", m, n, len(x)))
 	}
 	y := make([]float64, n)
+	MatVecTInto(y, a, x)
+	return y
+}
+
+// MatVecTInto computes y = Aᵀ·x into the caller-provided dst (len n),
+// zeroing it first. The accumulation order is exactly MatVecT's —
+// ascending rows, zero rows skipped — so results are bit-identical to
+// MatVecT while letting tight loops reuse one output buffer.
+func MatVecTInto(dst []float64, a *Tensor, x []float64) {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatVecTInto needs a 2-D matrix, got shape %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	if len(x) != m {
+		panic(fmt.Sprintf("tensor: MatVecTInto dimension mismatch: matrix %dx%d, vector %d", m, n, len(x)))
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("tensor: MatVecTInto destination length %d, want %d", len(dst), n))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m; i++ {
 		xi := x[i]
 		if xi == 0 {
@@ -43,10 +65,9 @@ func MatVecT(a *Tensor, x []float64) []float64 {
 		}
 		row := a.data[i*n : (i+1)*n]
 		for j, v := range row {
-			y[j] += v * xi
+			dst[j] += v * xi
 		}
 	}
-	return y
 }
 
 // MatMul computes C = A·B for 2-D tensors A [m,k] and B [k,n],

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sei
+
+const raceEnabled = false

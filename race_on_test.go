@@ -1,0 +1,8 @@
+//go:build race
+
+package sei
+
+// raceEnabled mirrors internal/seicore's test constant: sync.Pool is
+// intentionally lossy under the race detector, so allocation-count
+// assertions are skipped there.
+const raceEnabled = true
