@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke bench-scaling vet fmt ci
+.PHONY: build test race bench bench-json bench-quant bench-smoke bench-scaling vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,12 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over every package, including the shared-design
-# concurrency stress test in internal/seicore.
+# concurrency stress test in internal/seicore. The root package's
+# end-to-end determinism suite runs several full pipelines; under the
+# race detector on few cores that exceeds go test's default 10m
+# per-package timeout, so give it headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -26,9 +29,19 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
 	@cat BENCH_PR4.json
 
-# One iteration of every benchmark in every package: a compile-and-run
-# smoke that keeps the bench suite from rotting without paying full
-# measurement time. CI runs this on every push.
+# Machine-readable record of the calibration fast path: the
+# incremental/naive threshold-search pair and the full quantization
+# pipeline, converted to BENCH_PR5.json (ns/op, B/op, allocs/op,
+# skip_rate, derived speedup and allocation reduction).
+bench-quant:
+	$(GO) test -bench='SearchThresholds|QuantizePipeline' -benchmem -run='^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+	@cat BENCH_PR5.json
+
+# One iteration of every benchmark in every package — including the
+# quant calibration benches above: a compile-and-run smoke that keeps
+# the bench suite from rotting without paying full measurement time.
+# CI runs this on every push.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 

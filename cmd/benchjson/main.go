@@ -1,9 +1,11 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON report. The repo's `make bench-json` target
 // pipes the inference benchmarks through it to produce BENCH_PR4.json,
-// the recorded before/after evidence for the bit-packed fast path
-// (ns/op, B/op, allocs/op and the images/sec custom metric, plus the
-// derived fast-over-float speedup).
+// the recorded before/after evidence for the bit-packed fast path,
+// and `make bench-quant` pipes the calibration benchmarks into
+// BENCH_PR5.json, the evidence for the incremental threshold-search
+// engine (ns/op, B/op, allocs/op and custom metrics such as
+// images/sec and skip_rate, plus derived baseline/optimized ratios).
 package main
 
 import (

@@ -55,6 +55,25 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDeriveSearchPair(t *testing.T) {
+	const searchSample = `BenchmarkSearchThresholds-8      5	 200000000 ns/op	  0.95 skip_rate	 1000000 B/op	    2000 allocs/op
+BenchmarkSearchThresholdsNaive-8 1	 900000000 ns/op	50000000 B/op	  100000 allocs/op
+`
+	rep, err := Parse(strings.NewReader(searchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Derived["search_thresholds_speedup_x"]; got != 4.5 {
+		t.Errorf("search speedup = %v, want 900/200 = 4.5", got)
+	}
+	if got := rep.Derived["search_thresholds_alloc_reduction_x"]; got != 50 {
+		t.Errorf("alloc reduction = %v, want 100000/2000 = 50", got)
+	}
+	if _, ok := rep.Derived["sei_predict_speedup_x"]; ok {
+		t.Error("sei predict pair derived without its benchmarks present")
+	}
+}
+
 func TestParseSkipsMalformedLines(t *testing.T) {
 	rep, err := Parse(strings.NewReader("BenchmarkOddFieldCount 12 34\nBenchmarkBad x ns/op\n"))
 	if err != nil {

@@ -88,27 +88,32 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// derive adds cross-benchmark numbers: the fast-over-float speedup of
-// the single-image SEI predict pair, when both are present.
+// derive adds cross-benchmark ratios when both members of a known
+// baseline/optimized pair are present: the fast-over-float speedup of
+// the single-image SEI predict pair, and the naive-over-incremental
+// speedup and allocation reduction of the threshold-search pair.
 func (r *Report) derive() {
-	var fast, float *Benchmark
+	byName := map[string]*Benchmark{}
 	for i := range r.Benchmarks {
-		switch r.Benchmarks[i].Name {
-		case "SEIPredict":
-			fast = &r.Benchmarks[i]
-		case "SEIPredictFloat":
-			float = &r.Benchmarks[i]
+		if _, ok := byName[r.Benchmarks[i].Name]; !ok {
+			byName[r.Benchmarks[i].Name] = &r.Benchmarks[i]
 		}
 	}
-	if fast == nil || float == nil {
-		return
-	}
-	fns, fok := fast.Metrics["ns/op"]
-	bns, bok := float.Metrics["ns/op"]
-	if fok && bok && fns > 0 {
-		if r.Derived == nil {
-			r.Derived = map[string]float64{}
+	ratio := func(key, slow, fast, unit string) {
+		s, f := byName[slow], byName[fast]
+		if s == nil || f == nil {
+			return
 		}
-		r.Derived["sei_predict_speedup_x"] = bns / fns
+		sv, sok := s.Metrics[unit]
+		fv, fok := f.Metrics[unit]
+		if sok && fok && fv > 0 {
+			if r.Derived == nil {
+				r.Derived = map[string]float64{}
+			}
+			r.Derived[key] = sv / fv
+		}
 	}
+	ratio("sei_predict_speedup_x", "SEIPredictFloat", "SEIPredict", "ns/op")
+	ratio("search_thresholds_speedup_x", "SearchThresholdsNaive", "SearchThresholds", "ns/op")
+	ratio("search_thresholds_alloc_reduction_x", "SearchThresholdsNaive", "SearchThresholds", "allocs/op")
 }

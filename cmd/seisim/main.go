@@ -27,8 +27,13 @@
 // Observability: -metrics writes a JSON run report (phase spans,
 // hardware counters, skipped points), -trace dumps the same report as
 // text to stderr, -progress prints live progress lines, -prom writes
-// Prometheus text format, -pprof serves net/http/pprof. Counter values
-// are identical for any -workers setting.
+// Prometheus text format, -pprof serves net/http/pprof. Calibration
+// cost shows up alongside the inference counters: per-layer
+// `search/convN` spans carry the threshold-search wall time, the
+// `quant_search_skip_rate` gauge and the `quant_remainder_skipped` /
+// `quant_remainder_evals` / `quant_fc_delta_updates` counters expose
+// how much remainder work the incremental engine avoided. Counter
+// values are identical for any -workers setting.
 //
 // The synthetic MNIST substitute is used unless $MNIST_DIR points at
 // the real IDX files. Results are deterministic for a fixed -seed.

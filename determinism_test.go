@@ -9,6 +9,7 @@ package sei
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"sei/internal/mnist"
@@ -179,6 +180,73 @@ func TestInstrumentedPipelineWorkerCountInvariant(t *testing.T) {
 		if !reflect.DeepEqual(got.counters, serial.counters) {
 			t.Errorf("workers=%d: counters diverge from serial:\n got  %v\n want %v",
 				workers, got.counters, serial.counters)
+		}
+	}
+}
+
+// The crossing-aware incremental search engine (internal/quant/engine.go)
+// and the retained naive sweep are two implementations of Algorithm 1:
+// thresholds, per-layer accuracies, and every comparable counter total
+// must be bit-identical, at every worker count. par_* scheduling counts
+// and the incremental-only skip/eval accounting are the only legitimate
+// differences (the engine runs one parallel region per candidate list
+// instead of one per candidate).
+func TestSearchEngineMatchesNaiveReference(t *testing.T) {
+	train, _ := mnist.SyntheticSplit(300, 120, 7)
+	net := nn.NewTableNetwork(1, 7)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Seed = 7
+	nn.Train(net, train, tcfg)
+
+	comparable := func(all map[string]int64) map[string]int64 {
+		out := map[string]int64{}
+		for k, v := range all {
+			if strings.HasPrefix(k, "par_") {
+				continue
+			}
+			switch k {
+			case quant.MetricRemainderSkipped, quant.MetricRemainderEvals, quant.MetricFCDeltaUpdates:
+				continue
+			}
+			out[k] = v
+		}
+		return out
+	}
+	run := func(workers int, search func(*quant.QuantizedNet, *mnist.Dataset, quant.SearchConfig) (*quant.SearchReport, error)) (*quant.SearchReport, []float64, map[string]int64) {
+		q, err := quant.Extract(net, []int{1, 28, 28})
+		if err != nil {
+			t.Fatalf("workers=%d: extract: %v", workers, err)
+		}
+		rec := obs.New()
+		q.Instrument(rec)
+		cfg := quant.DefaultSearchConfig()
+		cfg.Samples = 120
+		cfg.Workers = workers
+		cfg.Obs = rec
+		report, err := search(q, train, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: search: %v", workers, err)
+		}
+		return report, q.Thresholds, comparable(rec.CounterValues())
+	}
+
+	refReport, refThresholds, refCounters := run(1, quant.SearchThresholdsReference)
+	for _, workers := range []int{1, 2, 8} {
+		report, thresholds, counters := run(workers, quant.SearchThresholds)
+		if !reflect.DeepEqual(report.Layers, refReport.Layers) {
+			t.Errorf("workers=%d: layer results diverge from naive reference:\n got  %+v\n want %+v",
+				workers, report.Layers, refReport.Layers)
+		}
+		if !reflect.DeepEqual(thresholds, refThresholds) {
+			t.Errorf("workers=%d: thresholds %v != reference %v", workers, thresholds, refThresholds)
+		}
+		if !reflect.DeepEqual(counters, refCounters) {
+			t.Errorf("workers=%d: counters diverge from naive reference:\n got  %v\n want %v",
+				workers, counters, refCounters)
+		}
+		if report.Stats.Evaluations == 0 {
+			t.Errorf("workers=%d: incremental engine recorded no evaluations", workers)
 		}
 	}
 }

@@ -1,0 +1,528 @@
+package quant
+
+// The crossing-aware incremental sweep engine behind SearchThresholds
+// and RefineThresholds.
+//
+// Both calibration loops score a list of ascending candidate
+// thresholds t₁ < t₂ < … for one conv stage by counting how many
+// samples the rest of the network classifies correctly when that
+// stage binarizes at t. The naive form pays a full remainder forward
+// pass per (sample, candidate) pair. The engine exploits the crossing
+// invariant instead: a stage output bit is on iff its analog value v
+// exceeds t, so as t ascends bits only ever turn off, exactly when t
+// crosses v. Sorting each sample's stage outputs once yields the full
+// crossing schedule; between consecutive candidates with no crossing
+// (the common case — the paper's Table 1 long-tail observation) the
+// bitmap, hence the prediction, is provably unchanged and the
+// remainder evaluation is skipped outright. OR pooling absorbs further
+// work: a crossing only reaches the remainder when it empties its pool
+// window (the pooled bit's live count hits zero).
+//
+// For the last conv stage the remainder is just the FC classifier, and
+// a pooled bit turning off changes the scores by exactly minus its
+// weight column: y -= W[:,j], an O(classes) delta update in place of a
+// full MatVec. Delta updates are exact in real arithmetic; in floats
+// they can differ from a fresh fold by an ulp, which cannot flip an
+// argmax unless two class scores tie to ~1e-15 — the property tests
+// pin bit-identical reports on every supported configuration.
+//
+// All per-sample state lives in sweepArenas pooled per crossSweep
+// (sync.Pool, the seicore seiScratch pattern): a chunk body takes an
+// arena, sweeps its samples, and returns it, so steady-state candidate
+// scoring allocates nothing. Chunk boundaries and chunk-order folds
+// come from internal/par, so results are bit-identical at every worker
+// count.
+
+import (
+	"sort"
+	"sync"
+
+	"sei/internal/bitvec"
+	"sei/internal/obs"
+	"sei/internal/par"
+	"sei/internal/tensor"
+)
+
+// crossSweep scores candidate thresholds for one conv stage with the
+// crossing-aware incremental schedule. It is parameterized over the
+// remainder evaluator, so the greedy search (float remainder) and the
+// refinement (binarized remainder) share the sweep core.
+type crossSweep struct {
+	filters, outH, outW int // swept stage's conv-output geometry
+	pool                int // OR-pool window (≤1 = no pooling)
+	pooledH, pooledW    int
+	planeLen            int // outH*outW
+	outLen              int // filters*planeLen
+
+	// last marks the final conv stage: the remainder is the FC
+	// classifier, maintained incrementally via delta updates.
+	last     bool
+	fcW      *tensor.Tensor
+	fcB      []float64
+	remShape []int // shape of the remainder input (pooled 0/1 map)
+	remLen   int
+
+	// newRem builds one arena's remainder evaluator — a closure owning
+	// its scratch buffers that classifies a remainder input. Nil when
+	// last.
+	newRem func() func(*tensor.Tensor) int
+
+	arenas sync.Pool
+}
+
+// newCrossSweep builds the sweep for a stage with conv outputs of
+// shape [filters, outH, outW] and the given OR-pool window. fcW/fcB
+// are the classifier weights (used for the delta path when newRem is
+// nil, marking the last stage).
+func newCrossSweep(outShape []int, pool int, fcW *tensor.Tensor, fcB []float64, newRem func() func(*tensor.Tensor) int) *crossSweep {
+	s := &crossSweep{
+		filters: outShape[0], outH: outShape[1], outW: outShape[2],
+		pool:   pool,
+		last:   newRem == nil,
+		fcW:    fcW,
+		fcB:    fcB,
+		newRem: newRem,
+	}
+	s.planeLen = s.outH * s.outW
+	s.outLen = s.filters * s.planeLen
+	if pool > 1 {
+		s.pooledH, s.pooledW = s.outH/pool, s.outW/pool
+		s.remShape = []int{s.filters, s.pooledH, s.pooledW}
+	} else {
+		s.remShape = []int{s.filters, s.outH, s.outW}
+	}
+	s.remLen = s.remShape[0] * s.remShape[1] * s.remShape[2]
+	return s
+}
+
+// sweepArena is one goroutine's scratch for sweeping samples: the
+// sorted crossing schedule, the packed bitmap, the pool-window live
+// counts, the remainder input, and the incrementally maintained
+// classifier scores.
+type sweepArena struct {
+	order   []int32     // stage-output indices, ascending by (value, index)
+	vals    []float64   // the values in that order
+	bits    *bitvec.Vec // packed binarization at the current candidate
+	cnt     []int32     // live bits per pool window (pool > 1 only)
+	rem     *tensor.Tensor
+	y       []float64 // classifier scores (last stage only)
+	remEval func(*tensor.Tensor) int
+}
+
+func (s *crossSweep) getArena() *sweepArena {
+	if a, ok := s.arenas.Get().(*sweepArena); ok {
+		return a
+	}
+	a := &sweepArena{
+		order: make([]int32, s.outLen),
+		vals:  make([]float64, s.outLen),
+		bits:  bitvec.New(s.outLen),
+		rem:   tensor.New(s.remShape...),
+	}
+	if s.pool > 1 {
+		a.cnt = make([]int32, s.remLen)
+	}
+	if s.last {
+		a.y = make([]float64, len(s.fcB))
+	} else {
+		a.remEval = s.newRem()
+	}
+	return a
+}
+
+// pooledIndex maps a flat stage-output index to its pool-window index,
+// or -1 when the position falls in the edge rows/columns the
+// floor-division pool drops.
+func (s *crossSweep) pooledIndex(j int) int {
+	k := j / s.planeLen
+	r := j - k*s.planeLen
+	py := r / s.outW / s.pool
+	px := r % s.outW / s.pool
+	if py >= s.pooledH || px >= s.pooledW {
+		return -1
+	}
+	return (k*s.pooledH+py)*s.pooledW + px
+}
+
+// sweepChunk is one chunk's fold state: per-candidate correct counts
+// plus engine accounting, combined in chunk order by run.
+type sweepChunk struct {
+	counts []int64
+	stats  SweepStats
+}
+
+// run scores every candidate in ts (ascending) against every sample
+// and returns the per-candidate correct counts. values[i] is sample
+// i's flat stage-output buffer. Counter totals and counts are
+// bit-identical for every worker count: integer sums fold per chunk
+// and chunks are fixed.
+func (s *crossSweep) run(values [][]float64, labels []int, ts []float64, workers int, rec *obs.Recorder, stats *SweepStats) []int {
+	if len(ts) == 0 {
+		return nil
+	}
+	res := par.MapChunksRec(rec, workers, len(values), par.DefaultChunkSize, func(c par.Chunk) sweepChunk {
+		a := s.getArena()
+		defer s.arenas.Put(a)
+		out := sweepChunk{counts: make([]int64, len(ts))}
+		for i := c.Lo; i < c.Hi; i++ {
+			s.sweepSample(a, values[i], labels[i], ts, &out)
+		}
+		return out
+	})
+	counts := make([]int, len(ts))
+	var agg SweepStats
+	for _, r := range res {
+		for c, v := range r.counts {
+			counts[c] += int(v)
+		}
+		agg.add(r.stats)
+	}
+	stats.add(agg)
+	rec.Counter(MetricRemainderSkipped).Add(agg.RemainderSkipped)
+	rec.Counter(MetricRemainderEvals).Add(agg.RemainderEvals)
+	rec.Counter(MetricFCDeltaUpdates).Add(agg.FCDeltaUpdates)
+	return counts
+}
+
+// sweepSample scores one sample against the full ascending candidate
+// list using its crossing schedule.
+func (s *crossSweep) sweepSample(a *sweepArena, data []float64, label int, ts []float64, out *sweepChunk) {
+	n := len(data)
+	order := a.order[:n]
+	for j := range order {
+		order[j] = int32(j)
+	}
+	// Total order (value, index): equal values cross in deterministic
+	// index order, keeping last-stage delta updates order-stable.
+	sort.Slice(order, func(x, y int) bool {
+		vx, vy := data[order[x]], data[order[y]]
+		if vx != vy {
+			return vx < vy
+		}
+		return order[x] < order[y]
+	})
+	vals := a.vals[:n]
+	for j, id := range order {
+		vals[j] = data[id]
+	}
+
+	// Seed state at the first candidate: packed bitmap, pool-window
+	// live counts, pooled remainder input, and one full remainder
+	// evaluation.
+	t0 := ts[0]
+	a.bits.SetAbove(data, t0)
+	remData := a.rem.Data()
+	for i := range remData {
+		remData[i] = 0
+	}
+	if s.pool > 1 {
+		cnt := a.cnt
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for j := a.bits.NextSet(0); j >= 0; j = a.bits.NextSet(j + 1) {
+			if pi := s.pooledIndex(j); pi >= 0 {
+				cnt[pi]++
+				remData[pi] = 1
+			}
+		}
+	} else {
+		for j := a.bits.NextSet(0); j >= 0; j = a.bits.NextSet(j + 1) {
+			remData[j] = 1
+		}
+	}
+	var pred int
+	if s.last {
+		tensor.MatVecInto(a.y, s.fcW, remData)
+		for o, b := range s.fcB {
+			a.y[o] += b
+		}
+		pred = argmaxFirst(a.y)
+	} else {
+		pred = a.remEval(a.rem)
+	}
+	out.stats.RemainderEvals++
+	if pred == label {
+		out.counts[0]++
+	}
+
+	// p points at the first schedule entry still above the current
+	// candidate; entries before it have crossed (turned off).
+	p := sort.Search(n, func(k int) bool { return vals[k] > t0 })
+	for c := 1; c < len(ts); c++ {
+		t := ts[c]
+		remChanged := false
+		for p < n && vals[p] <= t {
+			j := int(order[p])
+			p++
+			a.bits.Unset(j)
+			ri := j
+			if s.pool > 1 {
+				pi := s.pooledIndex(j)
+				if pi < 0 {
+					continue // edge position dropped by the pool
+				}
+				a.cnt[pi]--
+				if a.cnt[pi] != 0 {
+					continue // window still populated: OR unchanged
+				}
+				ri = pi
+			}
+			remData[ri] = 0
+			remChanged = true
+			if s.last {
+				w := s.fcW.Data()
+				in := s.fcW.Dim(1)
+				for o := range a.y {
+					a.y[o] -= w[o*in+ri]
+				}
+				out.stats.FCDeltaUpdates++
+			}
+		}
+		switch {
+		case !remChanged:
+			out.stats.RemainderSkipped++
+		case s.last:
+			pred = argmaxFirst(a.y)
+		default:
+			pred = a.remEval(a.rem)
+			out.stats.RemainderEvals++
+		}
+		if pred == label {
+			out.counts[c]++
+		}
+	}
+	out.stats.Evaluations += int64(len(ts))
+}
+
+// argmaxFirst is tensor.ArgMax on a plain slice: index of the largest
+// element, first on ties.
+func argmaxFirst(y []float64) int {
+	best, bi := y[0], 0
+	for i, v := range y {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// newIncrementalSweeper wires a crossSweep for Algorithm 1's stage-l
+// candidate scoring: the remainder evaluator is the float tail of the
+// network (bit-identical to floatRemainder), or the FC delta path when
+// l is the last conv stage.
+func newIncrementalSweeper(q *QuantizedNet, l int, convOut []*tensor.Tensor, labels []int, cfg SearchConfig, stats *SweepStats) layerSweeper {
+	outShape := convOut[0].Shape()
+	pool := q.Convs[l].PoolSize
+	var newRem func() func(*tensor.Tensor) int
+	if l < len(q.Convs)-1 {
+		remShape := outShape
+		if pool > 1 {
+			remShape = []int{outShape[0], outShape[1] / pool, outShape[2] / pool}
+		}
+		newRem = newFloatRemainderEval(q, l+1, remShape)
+	}
+	s := newCrossSweep(outShape, pool, q.FC.W, q.FC.B, newRem)
+	values := make([][]float64, len(convOut))
+	for i, t := range convOut {
+		values[i] = t.Data()
+	}
+	return func(ts []float64) []int {
+		return s.run(values, labels, ts, cfg.Workers, cfg.Obs, stats)
+	}
+}
+
+// remStageGeom is the static geometry of one remainder conv stage.
+type remStageGeom struct {
+	kh, kw, stride, pool int
+	fan, positions       int
+	wmat                 *tensor.Tensor // [filters, fan] view of the stage weights (shared, read-only)
+	wdata                []float64      // the same weights flat (binarized path)
+	outShape             []int          // [filters, outH, outW]
+	pooledShape          []int          // nil when pool ≤ 1
+	l                    int
+}
+
+// remainderGeometry chains activation shapes from inShape through conv
+// stages from..end, precomputing the per-stage geometry both remainder
+// evaluators share.
+func remainderGeometry(q *QuantizedNet, from int, inShape []int) []remStageGeom {
+	var gs []remStageGeom
+	shape := inShape
+	for l := from; l < len(q.Convs); l++ {
+		c := &q.Convs[l]
+		kh, kw := c.W.Dim(2), c.W.Dim(3)
+		outH := (shape[1]-kh)/c.Stride + 1
+		outW := (shape[2]-kw)/c.Stride + 1
+		g := remStageGeom{
+			kh: kh, kw: kw, stride: c.Stride, pool: c.PoolSize,
+			fan: c.FanIn(), positions: outH * outW,
+			wmat:     c.W.Reshape(c.Filters(), c.FanIn()),
+			wdata:    c.W.Data(),
+			outShape: []int{c.Filters(), outH, outW},
+			l:        l,
+		}
+		shape = g.outShape
+		if c.PoolSize > 1 {
+			g.pooledShape = []int{c.Filters(), outH / c.PoolSize, outW / c.PoolSize}
+			shape = g.pooledShape
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// remStageBufs is one arena's scratch for one remainder conv stage.
+type remStageBufs struct {
+	cols, colsT *tensor.Tensor
+	out2        *tensor.Tensor // [filters, positions] product buffer
+	out         *tensor.Tensor // the same data viewed [filters, outH, outW]
+	pooled      *tensor.Tensor // nil when pool ≤ 1
+}
+
+func newRemStageBufs(gs []remStageGeom, withColsT bool) []remStageBufs {
+	bufs := make([]remStageBufs, len(gs))
+	for i, g := range gs {
+		b := remStageBufs{
+			cols: tensor.New(g.positions, g.fan),
+			out2: tensor.New(g.outShape[0], g.positions),
+		}
+		if withColsT {
+			b.colsT = tensor.New(g.fan, g.positions)
+		}
+		b.out = b.out2.Reshape(g.outShape...)
+		if g.pooledShape != nil {
+			b.pooled = tensor.New(g.pooledShape...)
+		}
+		bufs[i] = b
+	}
+	return bufs
+}
+
+// newFloatRemainderEval returns an arena factory for the float
+// remainder of the greedy search: conv, ReLU, max pool per stage, then
+// the FC classifier. Kernels and accumulation order replicate
+// floatRemainder exactly (Im2Col/Transpose2D/ikj MatMul, full-fold
+// MatVec), so predictions are bit-identical; the Into variants reuse
+// the arena's buffers instead of allocating.
+func newFloatRemainderEval(q *QuantizedNet, from int, inShape []int) func() func(*tensor.Tensor) int {
+	gs := remainderGeometry(q, from, inShape)
+	fcW, fcB := q.FC.W, q.FC.B
+	return func() func(*tensor.Tensor) int {
+		bufs := newRemStageBufs(gs, true)
+		y := make([]float64, len(fcB))
+		return func(rem *tensor.Tensor) int {
+			x := rem
+			for i, g := range gs {
+				b := &bufs[i]
+				tensor.Im2ColInto(b.cols, x, g.kh, g.kw, g.stride)
+				tensor.Transpose2DInto(b.colsT, b.cols)
+				tensor.MatMulInto(b.out2, g.wmat, b.colsT)
+				d := b.out.Data()
+				for k, v := range d {
+					if v < 0 {
+						d[k] = 0
+					}
+				}
+				if g.pool > 1 {
+					maxPoolInto(b.pooled, b.out, g.pool)
+					x = b.pooled
+				} else {
+					x = b.out
+				}
+			}
+			tensor.MatVecInto(y, fcW, x.Data())
+			for o, b := range fcB {
+				y[o] += b
+			}
+			return argmaxFirst(y)
+		}
+	}
+}
+
+// newBinaryRemainderEval returns an arena factory for the refinement's
+// remainder: the *binarized* pipeline from conv stage `from` on — each
+// stage's analog sums accumulated in digitalEval's skip-zero order,
+// thresholded at the stage's current q.Thresholds value (read at call
+// time, since refinement mutates deeper thresholds between sweeps),
+// OR-pooled, and classified by the FC stage. Predictions are
+// bit-identical to QuantizedNet.Predict's tail.
+func newBinaryRemainderEval(q *QuantizedNet, from int, inShape []int) func() func(*tensor.Tensor) int {
+	gs := remainderGeometry(q, from, inShape)
+	fcW, fcB := q.FC.W, q.FC.B
+	return func() func(*tensor.Tensor) int {
+		bufs := newRemStageBufs(gs, false)
+		y := make([]float64, len(fcB))
+		return func(rem *tensor.Tensor) int {
+			x := rem
+			for i, g := range gs {
+				b := &bufs[i]
+				binaryConvStageInto(b.out, b.cols, g, x, q.Thresholds[g.l])
+				if g.pool > 1 {
+					orPoolInto(b.pooled, b.out, g.pool)
+					x = b.pooled
+				} else {
+					x = b.out
+				}
+			}
+			tensor.MatVecInto(y, fcW, x.Data())
+			for o, b := range fcB {
+				y[o] += b
+			}
+			return argmaxFirst(y)
+		}
+	}
+}
+
+// binaryConvStageInto evaluates one binarized conv stage into dst
+// ([filters, outH, outW] of 0/1 floats): per receptive field, per
+// filter, the skip-zero dot product of digitalEval.EvalConv, then
+// `sum > t`. cols is the arena's im2col scratch.
+func binaryConvStageInto(dst, cols *tensor.Tensor, g remStageGeom, x *tensor.Tensor, t float64) {
+	tensor.Im2ColInto(cols, x, g.kh, g.kw, g.stride)
+	cd, dd := cols.Data(), dst.Data()
+	f := g.outShape[0]
+	for p := 0; p < g.positions; p++ {
+		field := cd[p*g.fan : (p+1)*g.fan]
+		for k := 0; k < f; k++ {
+			row := g.wdata[k*g.fan : (k+1)*g.fan]
+			s := 0.0
+			for j, xv := range field {
+				if xv != 0 {
+					s += row[j] * xv
+				}
+			}
+			if s > t {
+				dd[k*g.positions+p] = 1
+			} else {
+				dd[k*g.positions+p] = 0
+			}
+		}
+	}
+}
+
+// orPoolInto writes the OR pool of a 0/1 map ([c,h,w]) into dst
+// ([c, h/size, w/size]) with direct indexing; values match orPool.
+func orPoolInto(dst, bits *tensor.Tensor, size int) {
+	ch, h, w := bits.Dim(0), bits.Dim(1), bits.Dim(2)
+	oh, ow := dst.Dim(1), dst.Dim(2)
+	bd, dd := bits.Data(), dst.Data()
+	for c := 0; c < ch; c++ {
+		base := c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				v := 0.0
+				for ky := 0; ky < size && v == 0; ky++ {
+					row := base + (oy*size+ky)*w + ox*size
+					for kx := 0; kx < size; kx++ {
+						if bd[row+kx] != 0 {
+							v = 1
+							break
+						}
+					}
+				}
+				dd[(c*oh+oy)*ow+ox] = v
+			}
+		}
+	}
+}

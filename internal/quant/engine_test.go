@@ -1,0 +1,291 @@
+package quant
+
+import (
+	"strings"
+	"testing"
+
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/obs"
+	"sei/internal/tensor"
+)
+
+// runSearch extracts a fresh quantized net from `net` and runs the
+// given search implementation, returning the net, the report, and the
+// recorded counters.
+func runSearch(t *testing.T, net *nn.Network, train *mnist.Dataset, cfg SearchConfig, workers int,
+	search func(*QuantizedNet, *mnist.Dataset, SearchConfig) (*SearchReport, error)) (*QuantizedNet, *SearchReport, map[string]int64) {
+	t.Helper()
+	q, err := Extract(net, []int{1, 28, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	q.Instrument(rec)
+	cfg.Workers = workers
+	cfg.Obs = rec
+	report, err := search(q, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, report, rec.CounterValues()
+}
+
+// comparableCounters drops the engine-shape counters whose totals
+// legitimately differ between the incremental and naive sweeps: par_*
+// scheduling counts (the engine runs one parallel region per candidate
+// list instead of one per candidate) and the incremental-only
+// skip/eval accounting. Everything else — candidate totals and every
+// hardware counter — must match bit-for-bit.
+func comparableCounters(all map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range all {
+		if strings.HasPrefix(k, "par_") {
+			continue
+		}
+		switch k {
+		case MetricRemainderSkipped, MetricRemainderEvals, MetricFCDeltaUpdates:
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestIncrementalSearchMatchesReference is the engine's bit-identity
+// property test: for both stock configs and Workers ∈ {1, 2, 8}, the
+// crossing-aware engine must reproduce the naive reference's
+// SearchReport — thresholds, max outputs, accuracies — the re-scaled
+// weights, and the comparable counter totals exactly.
+func TestIncrementalSearchMatchesReference(t *testing.T) {
+	net := trainedNet2(t)
+	train := mnist.Synthetic(400, 9)
+	configs := map[string]SearchConfig{
+		"default": DefaultSearchConfig(),
+		"paper":   PaperSearchConfig(),
+	}
+	for name, cfg := range configs {
+		cfg.Samples = 150
+		t.Run(name, func(t *testing.T) {
+			refQ, refR, refC := runSearch(t, net, train, cfg, 1, SearchThresholdsReference)
+			refCounters := comparableCounters(refC)
+			for _, workers := range []int{1, 2, 8} {
+				q, r, c := runSearch(t, net, train, cfg, workers, SearchThresholds)
+				if len(r.Layers) != len(refR.Layers) {
+					t.Fatalf("workers=%d: %d layers, reference %d", workers, len(r.Layers), len(refR.Layers))
+				}
+				for l, lr := range r.Layers {
+					want := refR.Layers[l]
+					if lr.Threshold != want.Threshold || lr.Accuracy != want.Accuracy || lr.MaxOutput != want.MaxOutput {
+						t.Fatalf("workers=%d layer %d: got %+v, reference %+v", workers, l, lr, want)
+					}
+					if q.Thresholds[l] != refQ.Thresholds[l] {
+						t.Fatalf("workers=%d: threshold[%d] = %v, reference %v", workers, l, q.Thresholds[l], refQ.Thresholds[l])
+					}
+				}
+				for l := range refQ.Convs {
+					a, b := refQ.Convs[l].W.Data(), q.Convs[l].W.Data()
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("workers=%d: conv %d re-scaled weight %d differs", workers, l, i)
+						}
+					}
+				}
+				got := comparableCounters(c)
+				if len(got) != len(refCounters) {
+					t.Fatalf("workers=%d: counter sets differ: %v vs %v", workers, got, refCounters)
+				}
+				for k, v := range refCounters {
+					if got[k] != v {
+						t.Fatalf("workers=%d: counter %s = %d, reference %d", workers, k, got[k], v)
+					}
+				}
+				if r.Stats.Evaluations == 0 || r.Stats.RemainderSkipped == 0 {
+					t.Fatalf("workers=%d: engine recorded no work (stats %+v)", workers, r.Stats)
+				}
+				if refR.Stats != (SweepStats{}) {
+					t.Fatalf("reference recorded engine stats %+v, want zero", refR.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalSearchMatchesReferenceDeepNet covers the geometries
+// the Network 2 fixture misses: three conv stages, one of them
+// unpooled (pool ≤ 1 sweeps and a multi-stage float remainder).
+func TestIncrementalSearchMatchesReferenceDeepNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an extra network")
+	}
+	train := mnist.Synthetic(300, 11)
+	net := nn.NewDeepNetwork(3)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	nn.Train(net, train, tcfg)
+
+	cfg := DefaultSearchConfig()
+	cfg.Samples = 100
+	refQ, refR, refC := runSearch(t, net, train, cfg, 1, SearchThresholdsReference)
+	refCounters := comparableCounters(refC)
+	for _, workers := range []int{1, 2, 8} {
+		q, r, c := runSearch(t, net, train, cfg, workers, SearchThresholds)
+		for l, lr := range r.Layers {
+			want := refR.Layers[l]
+			if lr != want {
+				t.Fatalf("workers=%d layer %d: got %+v, reference %+v", workers, l, lr, want)
+			}
+			if q.Thresholds[l] != refQ.Thresholds[l] {
+				t.Fatalf("workers=%d: threshold[%d] = %v, reference %v", workers, l, q.Thresholds[l], refQ.Thresholds[l])
+			}
+		}
+		got := comparableCounters(c)
+		for k, v := range refCounters {
+			if got[k] != v {
+				t.Fatalf("workers=%d: counter %s = %d, reference %d", workers, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestSweepStatsAccounting pins the engine's internal bookkeeping on a
+// real sweep: every (sample, candidate) evaluation is either skipped
+// or paid for, and the skip rate exposes the long-tail structure the
+// engine exploits (the overwhelming majority of candidate steps cross
+// nothing).
+func TestSweepStatsAccounting(t *testing.T) {
+	net := trainedNet2(t)
+	train := mnist.Synthetic(300, 13)
+	cfg := DefaultSearchConfig()
+	cfg.Samples = 100
+	rec := obs.New()
+	q, err := Extract(net, []int{1, 28, 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = rec
+	r, err := SearchThresholds(q, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats
+	if s.Evaluations <= 0 {
+		t.Fatalf("no evaluations recorded: %+v", s)
+	}
+	// Per sample, the seed evaluation plus every non-skipped candidate
+	// are the only remainder evaluations for non-last stages; for the
+	// last stage non-skipped candidates are pure delta updates. So
+	// skipped + evals can never exceed evaluations + seeds.
+	if s.RemainderSkipped+s.RemainderEvals > s.Evaluations+int64(len(r.Layers))*100 {
+		t.Fatalf("inconsistent accounting: %+v", s)
+	}
+	// Synthetic-MNIST activations are denser than the paper's long
+	// tail, so the skip rate is moderate here (~0.32 on this fixture;
+	// much higher on the last stage, where pooled absorption helps).
+	if rate := s.SkipRate(); rate < 0.15 {
+		t.Fatalf("skip rate %.3f, expected the crossing test to skip a solid fraction of candidate steps (%+v)", rate, s)
+	}
+	counters := rec.CounterValues()
+	for _, k := range []string{MetricRemainderSkipped, MetricRemainderEvals, MetricThresholdCandidates} {
+		if counters[k] == 0 {
+			t.Fatalf("counter %s not recorded: %v", k, counters)
+		}
+	}
+	if counters[MetricRemainderSkipped] != s.RemainderSkipped || counters[MetricRemainderEvals] != s.RemainderEvals || counters[MetricFCDeltaUpdates] != s.FCDeltaUpdates {
+		t.Fatalf("counters %v disagree with report stats %+v", counters, s)
+	}
+	if g := rec.GaugeValues()[GaugeSearchSkipRate]; g != s.SkipRate() {
+		t.Fatalf("gauge %v != skip rate %v", g, s.SkipRate())
+	}
+}
+
+// TestBinarizeIntoReusesBuffer pins the satellite fix: the returned
+// buffer is reused when shapes match and values equal binarize's.
+func TestBinarizeIntoReusesBuffer(t *testing.T) {
+	x := tensor.FromSlice([]float64{0.1, 0.5, 0.9, 0.3}, 1, 2, 2)
+	a := binarizeInto(nil, x, 0.4)
+	b := binarizeInto(a, x, 0.6)
+	if a != b {
+		t.Fatal("binarizeInto allocated a new buffer despite matching size")
+	}
+	want := binarize(x, 0.6)
+	for i := range want.Data() {
+		if a.Data()[i] != want.Data()[i] {
+			t.Fatalf("binarizeInto value %d = %v, want %v", i, a.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+// refineThresholdsReference replicates the pre-engine coordinate
+// descent verbatim — every candidate threshold pays a full binarized
+// Predict pass per sample — as the bit-identity baseline for the
+// incremental refinement.
+func refineThresholdsReference(q *QuantizedNet, train *mnist.Dataset, cfg RefineConfig) float64 {
+	data := train
+	if cfg.Samples > 0 && cfg.Samples < train.Len() {
+		data = train.Subset(cfg.Samples)
+	}
+	accuracy := func() float64 {
+		correct := 0
+		for i := 0; i < data.Len(); i++ {
+			if q.Predict(data.Images[i]) == data.Labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(data.Len())
+	}
+	best := accuracy()
+	for round := 0; round < cfg.Rounds; round++ {
+		improved := false
+		for l := range q.Thresholds {
+			orig := q.Thresholds[l]
+			bestT := orig
+			for k := -cfg.Radius; k <= cfg.Radius; k++ {
+				if k == 0 {
+					continue
+				}
+				t := orig + float64(k)*cfg.Step
+				if t < 0 {
+					continue
+				}
+				q.Thresholds[l] = t
+				if acc := accuracy(); acc > best {
+					best, bestT = acc, t
+					improved = true
+				}
+			}
+			q.Thresholds[l] = bestT
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// TestIncrementalRefineMatchesReference pins the refinement engine
+// against the naive coordinate descent: returned accuracy and final
+// thresholds bit-identical at Workers ∈ {1, 2, 8}.
+func TestIncrementalRefineMatchesReference(t *testing.T) {
+	refQ, train, _ := quantizedFixture(t)
+	cfg := DefaultRefineConfig()
+	cfg.Samples = 150
+	refBest := refineThresholdsReference(refQ, train, cfg)
+	for _, workers := range []int{1, 2, 8} {
+		q, _, _ := quantizedFixture(t)
+		c := cfg
+		c.Workers = workers
+		got, err := RefineThresholds(q, train, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != refBest {
+			t.Fatalf("workers=%d: best accuracy %v, reference %v", workers, got, refBest)
+		}
+		for l := range q.Thresholds {
+			if q.Thresholds[l] != refQ.Thresholds[l] {
+				t.Fatalf("workers=%d: threshold[%d] = %v, reference %v", workers, l, q.Thresholds[l], refQ.Thresholds[l])
+			}
+		}
+	}
+}

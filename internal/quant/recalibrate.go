@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"sei/internal/bitvec"
 	"sei/internal/mnist"
 	"sei/internal/nn"
 	"sei/internal/obs"
@@ -46,11 +47,17 @@ func RecalibrateFC(q *QuantizedNet, train *mnist.Dataset, cfg RecalibrateConfig)
 	if err := par.Validate(cfg.Workers); err != nil {
 		return fmt.Errorf("quant: recalibrate config: %w", err)
 	}
-	// Precompute the frozen binary features once, one slot per sample.
-	features := make([][]float64, train.Len())
+	// Precompute the frozen binary features once, one slot per sample,
+	// bit-packed: the features are 0/1 by construction, so a bitvec
+	// stores them 64× denser and NextSet iteration visits exactly the
+	// indices the dense `xv != 0` scan visited, in the same ascending
+	// order — gradients and logits stay bit-identical.
+	features := make([]*bitvec.Vec, train.Len())
 	par.ForEachRec(cfg.Obs, cfg.Workers, train.Len(), func(i int) {
 		acts := q.BinaryActivations(train.Images[i])
-		features[i] = acts[len(acts)-1].Data()
+		v := &bitvec.Vec{}
+		v.SetFloats(acts[len(acts)-1].Data())
+		features[i] = v
 	})
 
 	out, in := q.FC.W.Dim(0), q.FC.W.Dim(1)
@@ -59,6 +66,12 @@ func RecalibrateFC(q *QuantizedNet, train *mnist.Dataset, cfg RecalibrateConfig)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	idx := rng.Perm(train.Len())
 
+	// Gradient and logit buffers hoisted out of the batch loop; the
+	// serial SGD reuses them across every batch and epoch.
+	gw := make([]float64, len(w))
+	gb := make([]float64, len(b))
+	logits := make([]float64, out)
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for start := 0; start < len(idx); start += cfg.BatchSize {
@@ -66,18 +79,19 @@ func RecalibrateFC(q *QuantizedNet, train *mnist.Dataset, cfg RecalibrateConfig)
 			if end > len(idx) {
 				end = len(idx)
 			}
-			gw := make([]float64, len(w))
-			gb := make([]float64, len(b))
+			for i := range gw {
+				gw[i] = 0
+			}
+			for i := range gb {
+				gb[i] = 0
+			}
 			for _, s := range idx[start:end] {
 				x := features[s]
-				logits := make([]float64, out)
 				for o := 0; o < out; o++ {
 					row := w[o*in : (o+1)*in]
 					acc := b[o]
-					for j, xv := range x {
-						if xv != 0 {
-							acc += row[j]
-						}
+					for j := x.NextSet(0); j >= 0; j = x.NextSet(j + 1) {
+						acc += row[j]
 					}
 					logits[o] = acc
 				}
@@ -88,10 +102,8 @@ func RecalibrateFC(q *QuantizedNet, train *mnist.Dataset, cfg RecalibrateConfig)
 						continue
 					}
 					row := gw[o*in : (o+1)*in]
-					for j, xv := range x {
-						if xv != 0 {
-							row[j] += p[o]
-						}
+					for j := x.NextSet(0); j >= 0; j = x.NextSet(j + 1) {
+						row[j] += p[o]
 					}
 					gb[o] += p[o]
 				}

@@ -10,6 +10,37 @@ import (
 	"sei/internal/tensor"
 )
 
+// Search instrumentation metric names (recorded on SearchConfig.Obs /
+// RefineConfig.Obs).
+const (
+	// MetricThresholdCandidates counts candidate thresholds scored by
+	// Algorithm 1 (coarse + fine, summed over conv stages).
+	MetricThresholdCandidates = "quant_threshold_candidates"
+	// MetricRefineCandidates counts candidate thresholds scored by the
+	// coordinate-descent refinement (plus its baseline evaluation).
+	MetricRefineCandidates = "quant_refine_candidates"
+	// MetricRemainderSkipped counts (sample, candidate) evaluations the
+	// incremental engine answered without touching the remainder of the
+	// network: no activation crossed between consecutive thresholds (or
+	// every crossing was absorbed by a still-populated OR-pool window),
+	// so the remainder input — hence the prediction — is provably
+	// unchanged.
+	MetricRemainderSkipped = "quant_remainder_skipped"
+	// MetricRemainderEvals counts full remainder evaluations the engine
+	// actually ran (the seeding pass per sample plus every candidate
+	// whose remainder input changed; the FC delta-update short cut is
+	// counted separately).
+	MetricRemainderEvals = "quant_remainder_evals"
+	// MetricFCDeltaUpdates counts exact FC delta updates: last-stage
+	// pooled bits that turned off and were applied to the classifier
+	// scores as per-column subtractions instead of a fresh MatVec.
+	MetricFCDeltaUpdates = "quant_fc_delta_updates"
+	// GaugeSearchSkipRate is RemainderSkipped/Evaluations of the last
+	// SearchThresholds run — the fraction of candidate evaluations the
+	// crossing test answered for free.
+	GaugeSearchSkipRate = "quant_search_skip_rate"
+)
+
 // SearchConfig controls Algorithm 1 (Threshold Searching Algorithm).
 type SearchConfig struct {
 	// ThresMin/ThresMax bound the brute-force interval. The paper
@@ -30,8 +61,10 @@ type SearchConfig struct {
 	// thresholds: candidate scoring is an order-independent count and
 	// sample chunking is fixed.
 	Workers int
-	// Obs, when set, receives search counters (quant_threshold_candidates
-	// and the engine scheduling metrics); nil disables recording.
+	// Obs, when set, receives search counters (quant_threshold_candidates,
+	// the incremental-engine skip/eval counters, and the engine
+	// scheduling metrics) plus per-stage search spans; nil disables
+	// recording.
 	Obs *obs.Recorder
 }
 
@@ -70,10 +103,60 @@ type LayerSearchResult struct {
 	Accuracy  float64 // training-subsample accuracy at the chosen threshold
 }
 
+// SweepStats is the incremental engine's work accounting: how many
+// (sample, candidate) evaluations the sweep faced and how it answered
+// them. The reference implementation leaves it zero — the stats
+// describe engine effort, not search outcomes, and are excluded from
+// the bit-identity contract.
+type SweepStats struct {
+	// Evaluations is the number of (sample, candidate) pairs scored.
+	Evaluations int64
+	// RemainderSkipped counts evaluations answered by the crossing test
+	// alone (remainder input unchanged since the previous candidate).
+	RemainderSkipped int64
+	// RemainderEvals counts full remainder evaluations (per-sample
+	// seeding plus candidates whose remainder input changed).
+	RemainderEvals int64
+	// FCDeltaUpdates counts last-stage pooled bits applied to the
+	// classifier scores as exact per-column delta subtractions.
+	FCDeltaUpdates int64
+}
+
+// SkipRate is the fraction of evaluations answered without touching
+// the remainder of the network.
+func (s SweepStats) SkipRate() float64 {
+	if s.Evaluations == 0 {
+		return 0
+	}
+	return float64(s.RemainderSkipped) / float64(s.Evaluations)
+}
+
+func (s *SweepStats) add(o SweepStats) {
+	s.Evaluations += o.Evaluations
+	s.RemainderSkipped += o.RemainderSkipped
+	s.RemainderEvals += o.RemainderEvals
+	s.FCDeltaUpdates += o.FCDeltaUpdates
+}
+
 // SearchReport is the outcome of Algorithm 1.
 type SearchReport struct {
 	Layers []LayerSearchResult
+	// Stats is the incremental engine's work accounting (zero when the
+	// reference sweep produced the report).
+	Stats SweepStats
 }
+
+// layerSweeper scores one conv stage's candidate thresholds: given an
+// ascending candidate list it returns, per candidate, how many search
+// samples the remainder of the network classifies correctly at that
+// threshold.
+type layerSweeper func(ts []float64) []int
+
+// sweeperFactory builds a layerSweeper for conv stage l over the
+// re-scaled stage outputs convOut. Implementations: the crossing-aware
+// incremental engine (engine.go) and the retained naive reference
+// below.
+type sweeperFactory func(q *QuantizedNet, l int, convOut []*tensor.Tensor, labels []int, cfg SearchConfig, stats *SweepStats) layerSweeper
 
 // SearchThresholds runs Algorithm 1 on q in place: for each conv stage
 // in order it (1) computes the stage's outputs under the already-
@@ -81,7 +164,25 @@ type SearchReport struct {
 // [0,1], and (3) brute-force searches the binarization threshold that
 // maximizes training accuracy through the *float* remainder of the
 // network (the layer-by-layer greedy strategy).
+//
+// Candidate scoring runs on the incremental crossing-aware engine
+// (engine.go); thresholds, accuracies and hardware-counter totals are
+// bit-identical to SearchThresholdsReference at every worker count.
 func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (*SearchReport, error) {
+	return searchThresholds(q, train, cfg, newIncrementalSweeper)
+}
+
+// SearchThresholdsReference runs Algorithm 1 with the retained naive
+// sweep: every candidate threshold re-binarizes every sample and runs
+// the full float remainder of the network. It is the verification
+// baseline the property tests and BENCH_PR5.json pin the incremental
+// engine against, and matches the pre-engine implementation
+// bit-for-bit.
+func SearchThresholdsReference(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (*SearchReport, error) {
+	return searchThresholds(q, train, cfg, newNaiveSweeper)
+}
+
+func searchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig, factory sweeperFactory) (*SearchReport, error) {
 	if cfg.ThresMax <= cfg.ThresMin || cfg.CoarseStep <= 0 || cfg.FineStep <= 0 {
 		return nil, fmt.Errorf("quant: invalid search config %+v", cfg)
 	}
@@ -105,6 +206,7 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 	copy(entries, data.Images)
 
 	for l := range q.Convs {
+		sp := cfg.Obs.StartSpan(fmt.Sprintf("search/conv%d", l))
 		// Step 1: stage outputs under the quantized prefix. Each
 		// sample's output lands in its own slot; the per-chunk maxima
 		// fold in chunk order (max is order-independent anyway).
@@ -122,6 +224,7 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 			},
 			math.Max, 0)
 		if maxOut <= 1e-12 {
+			sp.End()
 			return nil, fmt.Errorf("quant: conv stage %d produces no positive outputs; network is dead", l)
 		}
 
@@ -133,43 +236,97 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 			convOut[i].Scale(1 / maxOut)
 		})
 
-		// Step 3: brute-force threshold search, coarse then fine.
-		// Candidate scoring fans out over samples; q is read-only here.
-		evalT := func(t float64) float64 {
-			cfg.Obs.Counter("quant_threshold_candidates").Add(1)
-			correct := par.CountRec(cfg.Obs, cfg.Workers, len(convOut), func(i int) bool {
-				bits := binarize(convOut[i], t)
-				if q.Convs[l].PoolSize > 1 {
-					bits = orPool(bits, q.Convs[l].PoolSize)
-				}
-				return floatRemainder(q, l+1, bits) == data.Labels[i]
-			})
-			return float64(correct) / float64(len(convOut))
+		// Step 3: brute-force threshold search, coarse then fine. The
+		// sweeper scores a whole ascending candidate list at once;
+		// q is read-only until the chosen threshold is committed.
+		sweep := factory(q, l, convOut, data.Labels, cfg, &report.Stats)
+		score := func(ts []float64) []float64 {
+			cfg.Obs.Counter(MetricThresholdCandidates).Add(int64(len(ts)))
+			counts := sweep(ts)
+			accs := make([]float64, len(ts))
+			for i, c := range counts {
+				accs[i] = float64(c) / float64(len(convOut))
+			}
+			return accs
 		}
 		bestT, bestAcc := cfg.ThresMin, -1.0
-		for t := cfg.ThresMin; t <= cfg.ThresMax+1e-12; t += cfg.CoarseStep {
-			if acc := evalT(t); acc > bestAcc {
-				bestT, bestAcc = t, acc
+		coarse := thresholdCandidates(cfg.ThresMin, cfg.ThresMax, cfg.CoarseStep)
+		for i, acc := range score(coarse) {
+			if acc > bestAcc {
+				bestT, bestAcc = coarse[i], acc
 			}
 		}
 		lo := math.Max(cfg.ThresMin, bestT-cfg.CoarseStep)
 		hi := math.Min(cfg.ThresMax, bestT+cfg.CoarseStep)
-		for t := lo; t <= hi+1e-12; t += cfg.FineStep {
-			if acc := evalT(t); acc > bestAcc {
-				bestT, bestAcc = t, acc
+		fine := thresholdCandidates(lo, hi, cfg.FineStep)
+		for i, acc := range score(fine) {
+			if acc > bestAcc {
+				bestT, bestAcc = fine[i], acc
 			}
 		}
 		q.Thresholds[l] = bestT
 		report.Layers = append(report.Layers, LayerSearchResult{
 			Layer: l, MaxOutput: maxOut, Threshold: bestT, Accuracy: bestAcc,
 		})
+		sp.AddSamples(int64(data.Len()))
+		sp.End()
 
 		// Advance the cached entries through the now-final stage.
 		par.ForEachRec(cfg.Obs, cfg.Workers, len(entries), func(i int) {
 			entries[i] = q.convStage(eval, l, entries[i])
 		})
 	}
+	if report.Stats.Evaluations > 0 {
+		cfg.Obs.Gauge(GaugeSearchSkipRate).Set(report.Stats.SkipRate())
+	}
 	return report, nil
+}
+
+// thresholdCandidates materializes the brute-force loop
+// `for t := lo; t <= hi+1e-12; t += step` as an ascending slice,
+// preserving the exact float accumulation of the original sweep so the
+// searched thresholds stay bit-identical.
+func thresholdCandidates(lo, hi, step float64) []float64 {
+	var ts []float64
+	for t := lo; t <= hi+1e-12; t += step {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// newNaiveSweeper is the retained reference sweep: one parallel pass
+// over the samples per candidate, each (sample, candidate) pair paying
+// a fresh binarize + OR pool + full float remainder. Only the binarize
+// buffer is reused (chunk-local, see binarizeInto); everything else
+// matches the pre-engine implementation, including its par_* scheduling
+// counter totals.
+func newNaiveSweeper(q *QuantizedNet, l int, convOut []*tensor.Tensor, labels []int, cfg SearchConfig, stats *SweepStats) layerSweeper {
+	pool := q.Convs[l].PoolSize
+	return func(ts []float64) []int {
+		counts := make([]int, len(ts))
+		for c, t := range ts {
+			total := 0
+			for _, v := range par.MapChunksRec(cfg.Obs, cfg.Workers, len(convOut), par.DefaultChunkSize, func(ch par.Chunk) int {
+				var bits *tensor.Tensor
+				local := 0
+				for i := ch.Lo; i < ch.Hi; i++ {
+					bits = binarizeInto(bits, convOut[i], t)
+					x := bits
+					if pool > 1 {
+						x = orPool(bits, pool)
+					}
+					if floatRemainder(q, l+1, x) == labels[i] {
+						local++
+					}
+				}
+				return local
+			}) {
+				total += v
+			}
+			counts[c] = total
+		}
+		return counts
+	}
 }
 
 // floatConv computes the real-valued convolution of one stage on an
@@ -185,45 +342,70 @@ func floatConv(c *ConvSpec, in *tensor.Tensor) *tensor.Tensor {
 	return prod.Reshape(c.Filters(), outH, outW)
 }
 
-// binarize thresholds a real map into a 0/1 map.
+// binarize thresholds a real map into a fresh 0/1 map.
 func binarize(x *tensor.Tensor, t float64) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	return binarizeInto(nil, x, t)
+}
+
+// binarizeInto thresholds x into dst, overwriting every element; dst
+// is allocated when nil or of the wrong size, so sweep loops can reuse
+// one buffer across candidates and samples instead of allocating a
+// tensor per (sample, candidate) pair. Returns the buffer in use.
+func binarizeInto(dst, x *tensor.Tensor, t float64) *tensor.Tensor {
+	if dst == nil || dst.Len() != x.Len() {
+		dst = tensor.New(x.Shape()...)
+	}
+	d := dst.Data()
 	for i, v := range x.Data() {
 		if v > t {
-			out.Data()[i] = 1
+			d[i] = 1
+		} else {
+			d[i] = 0
 		}
 	}
-	return out
+	return dst
 }
 
 // maxPool is float max pooling (used only in the float remainder of
 // the greedy search; the quantized pipeline uses orPool).
 func maxPool(x *tensor.Tensor, size int) *tensor.Tensor {
+	out := tensor.New(x.Dim(0), x.Dim(1)/size, x.Dim(2)/size)
+	maxPoolInto(out, x, size)
+	return out
+}
+
+// maxPoolInto writes the float max pool of x ([c,h,w]) into dst
+// ([c, h/size, w/size]) using direct Data() indexing — it sits inside
+// the hot remainder loop, where the bounds-checked At/Set accessors
+// cost more than the comparisons.
+func maxPoolInto(dst, x *tensor.Tensor, size int) {
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
-	oh, ow := h/size, w/size
-	out := tensor.New(c, oh, ow)
+	oh, ow := dst.Dim(1), dst.Dim(2)
+	xd, od := x.Data(), dst.Data()
 	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				best := math.Inf(-1)
 				for ky := 0; ky < size; ky++ {
+					row := base + (oy*size+ky)*w + ox*size
 					for kx := 0; kx < size; kx++ {
-						if v := x.At(ch, oy*size+ky, ox*size+kx); v > best {
+						if v := xd[row+kx]; v > best {
 							best = v
 						}
 					}
 				}
-				out.Set(best, ch, oy, ox)
+				od[(ch*oh+oy)*ow+ox] = best
 			}
 		}
 	}
-	return out
 }
 
 // floatRemainder runs stages from (the input of conv stage `from`)
 // through the original float semantics — conv, ReLU, max-pool — and
 // the FC classifier, returning the predicted class. This is the
-// not-yet-quantized tail of the greedy search.
+// not-yet-quantized tail of the greedy search (the allocating
+// reference; the engine's arena-backed replica is in engine.go).
 func floatRemainder(q *QuantizedNet, from int, x *tensor.Tensor) int {
 	for l := from; l < len(q.Convs); l++ {
 		x = floatConv(&q.Convs[l], x)

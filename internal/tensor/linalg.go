@@ -70,6 +70,31 @@ func MatVecTInto(dst []float64, a *Tensor, x []float64) {
 	}
 }
 
+// MatVecInto computes y = A·x into the caller-provided dst (len m).
+// Every element is overwritten with the same full ascending fold as
+// MatVec, so results are bit-identical while tight loops reuse one
+// output buffer.
+func MatVecInto(dst []float64, a *Tensor, x []float64) {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatVecInto needs a 2-D matrix, got shape %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	if len(x) != n {
+		panic(fmt.Sprintf("tensor: MatVecInto dimension mismatch: matrix %dx%d, vector %d", m, n, len(x)))
+	}
+	if len(dst) != m {
+		panic(fmt.Sprintf("tensor: MatVecInto destination length %d, want %d", len(dst), m))
+	}
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
 // MatMul computes C = A·B for 2-D tensors A [m,k] and B [k,n],
 // returning a new [m,n] tensor. The kernel iterates in ikj order so
 // the inner loop walks both B and C contiguously.
@@ -77,15 +102,33 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-D matrices, got %v and %v", a.shape, b.shape))
 	}
+	c := New(a.shape[0], b.shape[1])
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into the caller-provided dst ([m,n]),
+// zeroing it first. The accumulation is exactly MatMul's ikj kernel
+// (zero A entries skipped), so results are bit-identical to MatMul
+// while letting tight loops reuse one product buffer.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto needs 2-D matrices, got %v and %v", a.shape, b.shape))
+	}
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %dx%d by %dx%d", m, k, k2, n))
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch: %dx%d by %dx%d", m, k, k2, n))
 	}
-	c := New(m, n)
+	if dst.Dims() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto destination shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
 	for i := 0; i < m; i++ {
 		arow := a.data[i*k : (i+1)*k]
-		crow := c.data[i*n : (i+1)*n]
+		crow := dst.data[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
 			av := arow[p]
 			if av == 0 {
@@ -97,7 +140,6 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return c
 }
 
 // Transpose2D returns a new tensor that is the transpose of a 2-D
@@ -106,14 +148,26 @@ func Transpose2D(a *Tensor) *Tensor {
 	if a.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose2D needs a 2-D matrix, got %v", a.shape))
 	}
+	t := New(a.shape[1], a.shape[0])
+	Transpose2DInto(t, a)
+	return t
+}
+
+// Transpose2DInto writes the transpose of 2-D a into dst ([n,m]),
+// overwriting every element.
+func Transpose2DInto(dst, a *Tensor) {
+	if a.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2DInto needs a 2-D matrix, got %v", a.shape))
+	}
 	m, n := a.shape[0], a.shape[1]
-	t := New(n, m)
+	if dst.Dims() != 2 || dst.shape[0] != n || dst.shape[1] != m {
+		panic(fmt.Sprintf("tensor: Transpose2DInto destination shape %v, want [%d %d]", dst.shape, n, m))
+	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			t.data[j*m+i] = a.data[i*n+j]
+			dst.data[j*m+i] = a.data[i*n+j]
 		}
 	}
-	return t
 }
 
 // Im2Col unrolls a [channels, height, width] input into a matrix of
@@ -136,23 +190,46 @@ func Im2Col(in *Tensor, kh, kw, stride int) *Tensor {
 	outH := (h-kh)/stride + 1
 	outW := (w-kw)/stride + 1
 	cols := New(outH*outW, c*kh*kw)
+	Im2ColInto(cols, in, kh, kw, stride)
+	return cols
+}
+
+// Im2ColInto is Im2Col into the caller-provided dst, which must have
+// shape [outH*outW, c*kh*kw]. Every element is overwritten in the same
+// channel-major copy order, so results are bit-identical to Im2Col
+// while letting tight loops reuse one unroll buffer.
+func Im2ColInto(dst, in *Tensor, kh, kw, stride int) {
+	if in.Dims() != 3 {
+		panic(fmt.Sprintf("tensor: Im2ColInto needs a 3-D [c,h,w] input, got %v", in.shape))
+	}
+	if kh <= 0 || kw <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColInto invalid kernel %dx%d stride %d", kh, kw, stride))
+	}
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	if kh > h || kw > w {
+		panic(fmt.Sprintf("tensor: Im2ColInto kernel %dx%d larger than input %dx%d", kh, kw, h, w))
+	}
+	outH := (h-kh)/stride + 1
+	outW := (w-kw)/stride + 1
+	if dst.Dims() != 2 || dst.shape[0] != outH*outW || dst.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Im2ColInto destination shape %v, want [%d %d]", dst.shape, outH*outW, c*kh*kw))
+	}
 	p := 0
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
-			dst := cols.data[p*c*kh*kw : (p+1)*c*kh*kw]
+			row := dst.data[p*c*kh*kw : (p+1)*c*kh*kw]
 			d := 0
 			for ch := 0; ch < c; ch++ {
 				base := ch * h * w
 				for ky := 0; ky < kh; ky++ {
 					src := base + (oy*stride+ky)*w + ox*stride
-					copy(dst[d:d+kw], in.data[src:src+kw])
+					copy(row[d:d+kw], in.data[src:src+kw])
 					d += kw
 				}
 			}
 			p++
 		}
 	}
-	return cols
 }
 
 // Col2Im scatter-adds a gradient matrix of shape
