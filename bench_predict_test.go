@@ -1,12 +1,14 @@
 package sei
 
 // Inference-path benchmarks and allocation guards for the bit-packed
-// SEI fast path (internal/seicore/fast.go). BenchmarkSEIPredict (in
+// SEI fast path (internal/seicore/fast.go) and the bit-sliced batch
+// kernel (internal/seicore/sliced.go). BenchmarkSEIPredict (in
 // bench_test.go) runs the default dispatch — the fast path for the
 // ideal-analog default device; BenchmarkSEIPredictFloat pins the same
 // design to the float path so the pair measures the fast-path speedup
-// directly. `make bench-json` records all three plus allocs/op in
-// BENCH_PR4.json.
+// directly; BenchmarkSEIPredictBatchSliced measures the 64-images-per-
+// word path against BenchmarkSEIPredict's per-image cost. `make
+// bench-json` records all of them plus allocs/op in BENCH_PR6.json.
 
 import (
 	"math/rand"
@@ -48,11 +50,15 @@ func BenchmarkSEIPredictFloat(b *testing.B) {
 }
 
 // BenchmarkSEIPredictBatch measures batched inference through the
-// parallel engine on all cores — the serving path's throughput shape.
-// The result buffer is reused across iterations (nn.PredictBatchInto),
-// so steady-state allocations amortize to near zero per image.
+// per-image parallel engine on all cores — the sliced path is pinned
+// off so this stays the chunked-engine baseline the sliced benchmark
+// is compared against. The result buffer is reused across iterations
+// (nn.PredictBatchInto), so steady-state allocations amortize to near
+// zero per image.
 func BenchmarkSEIPredictBatch(b *testing.B) {
 	d := benchSEIDesign(b)
+	d.SetSlicedPath(false)
+	defer d.SetSlicedPath(true)
 	imgs := benchContext(b).Test.Images
 	var res []nn.PredictResult
 	b.ReportAllocs()
@@ -67,6 +73,55 @@ func BenchmarkSEIPredictBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N*len(imgs))/b.Elapsed().Seconds(), "images/sec")
+}
+
+// BenchmarkSEIPredictBatchSliced measures the bit-sliced batch path:
+// full 64-image groups classified one packed pass each, 64 images per
+// machine word. The image count is trimmed to a multiple of 64 so every
+// group takes the sliced kernel and images/sec is the pure lane-
+// parallel throughput (compared against BenchmarkSEIPredict's
+// per-image cost as sei_batch_sliced_speedup_x in BENCH_PR6.json).
+func BenchmarkSEIPredictBatchSliced(b *testing.B) {
+	d := benchSEIDesign(b)
+	imgs := benchContext(b).Test.Images
+	imgs = imgs[:len(imgs)/nn.SlicedGroupSize*nn.SlicedGroupSize]
+	if len(imgs) == 0 {
+		b.Fatalf("benchmark context has fewer than %d test images", nn.SlicedGroupSize)
+	}
+	var res []nn.PredictResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = nn.PredictBatchInto(nil, d, imgs, 0, res)
+	}
+	b.StopTimer()
+	for i, r := range res {
+		if r.Err != nil {
+			b.Fatalf("image %d: %v", i, r.Err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(imgs))/b.Elapsed().Seconds(), "images/sec")
+}
+
+// TestSEIPredictBatchSlicedZeroAllocs is the engine-level allocation
+// guard for the sliced path on the real benchmark design: once the
+// scratch pool is warm and the result buffer is reused, a full sliced
+// batch through nn.PredictBatchInto performs zero heap allocations.
+func TestSEIPredictBatchSlicedZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full benchmark context")
+	}
+	if raceEnabled {
+		t.Skip("sync.Pool is lossy under -race; allocation counts are not meaningful")
+	}
+	d := benchSEIDesign(t)
+	imgs := benchContext(t).Test.Images[:nn.SlicedGroupSize]
+	res := nn.PredictBatchInto(nil, d, imgs, 1, nil) // warm the pool and size res
+	if avg := testing.AllocsPerRun(50, func() {
+		res = nn.PredictBatchInto(nil, d, imgs, 1, res)
+	}); avg != 0 {
+		t.Errorf("sliced batch allocates %.1f objects per pass, want 0", avg)
+	}
 }
 
 // TestSEIPredictZeroAllocsSteadyState is the allocation guard on the

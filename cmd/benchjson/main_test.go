@@ -74,6 +74,20 @@ BenchmarkSearchThresholdsNaive-8 1	 900000000 ns/op	50000000 B/op	  100000 alloc
 	}
 }
 
+func TestDeriveSlicedBatchPair(t *testing.T) {
+	const slicedSample = `BenchmarkSEIPredictBatchSliced 	 1494	 2388976 ns/op	 80369 images/sec	 298 B/op	 0 allocs/op
+BenchmarkSEIPredict            	39513	   88136 ns/op	 11346 images/sec	   0 B/op	 0 allocs/op
+`
+	rep, err := Parse(strings.NewReader(slicedSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Derived["sei_batch_sliced_speedup_x"]
+	if got < 7.0 || got > 7.1 {
+		t.Errorf("sliced speedup = %v, want 80369/11346 ≈ 7.08", got)
+	}
+}
+
 func TestParseSkipsMalformedLines(t *testing.T) {
 	rep, err := Parse(strings.NewReader("BenchmarkOddFieldCount 12 34\nBenchmarkBad x ns/op\n"))
 	if err != nil {

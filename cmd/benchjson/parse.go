@@ -90,8 +90,10 @@ func parseLine(line string) (Benchmark, bool) {
 
 // derive adds cross-benchmark ratios when both members of a known
 // baseline/optimized pair are present: the fast-over-float speedup of
-// the single-image SEI predict pair, and the naive-over-incremental
-// speedup and allocation reduction of the threshold-search pair.
+// the single-image SEI predict pair, the bit-sliced batch path's
+// images/sec multiple over the per-image fast path, and the
+// naive-over-incremental speedup and allocation reduction of the
+// threshold-search pair.
 func (r *Report) derive() {
 	byName := map[string]*Benchmark{}
 	for i := range r.Benchmarks {
@@ -114,6 +116,7 @@ func (r *Report) derive() {
 		}
 	}
 	ratio("sei_predict_speedup_x", "SEIPredictFloat", "SEIPredict", "ns/op")
+	ratio("sei_batch_sliced_speedup_x", "SEIPredictBatchSliced", "SEIPredict", "images/sec")
 	ratio("search_thresholds_speedup_x", "SearchThresholdsNaive", "SearchThresholds", "ns/op")
 	ratio("search_thresholds_alloc_reduction_x", "SearchThresholdsNaive", "SearchThresholds", "allocs/op")
 }

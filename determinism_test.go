@@ -17,6 +17,7 @@ import (
 	"sei/internal/obs"
 	"sei/internal/quant"
 	"sei/internal/seicore"
+	"sei/internal/tensor"
 )
 
 func TestPipelineWorkerCountInvariant(t *testing.T) {
@@ -251,6 +252,23 @@ func TestSearchEngineMatchesNaiveReference(t *testing.T) {
 	}
 }
 
+// comparablePredictCounters strips the counters that legitimately
+// differ between prediction paths: par_* scheduling counts (the
+// bit-sliced batch path schedules 64-image groups instead of 16-image
+// chunks) and the sliced-dispatch accounting itself. Everything else —
+// every hardware counter, eval_images, predict_panics — must match
+// bit for bit.
+func comparablePredictCounters(all map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range all {
+		if strings.HasPrefix(k, "par_") || strings.HasPrefix(k, "predict_sliced_") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
 // The bit-packed fast path (internal/seicore/fast.go) and the float
 // path are two implementations of one contract: for an ideal-analog
 // design, predictions AND hardware-counter totals must be bit-identical
@@ -300,7 +318,7 @@ func TestFastPathFloatPathWorkerCountInvariant(t *testing.T) {
 			}
 			labels[i] = r.Label
 		}
-		return result{labels: labels, counters: rec.CounterValues()}
+		return result{labels: labels, counters: comparablePredictCounters(rec.CounterValues())}
 	}
 
 	base := run(true, 1)
@@ -318,5 +336,100 @@ func TestFastPathFloatPathWorkerCountInvariant(t *testing.T) {
 					fast, workers, got.counters, base.counters)
 			}
 		}
+	}
+}
+
+// The bit-sliced batch path (internal/seicore/sliced.go), the
+// per-image fast path and the float path are three implementations of
+// one contract. This pins label-for-label equality and
+// hardware-counter-total equality across all three, for every worker
+// count and for batch sizes straddling the 64-image group boundary —
+// on designs exercising permuted splits and unipolar dynamic columns.
+func TestSlicedPathThreeWayDeterminism(t *testing.T) {
+	train, test := mnist.SyntheticSplit(300, 256, 7)
+	net := nn.NewTableNetwork(1, 7)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Seed = 7
+	nn.Train(net, train, tcfg)
+	scfg := quant.DefaultSearchConfig()
+	scfg.Samples = 120
+	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, scfg)
+	if err != nil {
+		t.Fatalf("quantize: %v", err)
+	}
+	perm := rand.New(rand.NewSource(13)).Perm(q.Convs[1].FanIn())
+	designs := map[string]func() seicore.SEIBuildConfig{
+		"split-permuted": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.Layer.MaxCrossbar = 128
+			cfg.Orders = [][]int{nil, perm}
+			cfg.CalibImages = 20
+			return cfg
+		},
+		"unipolar-dynamic": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.Layer.Mode = seicore.ModeUnipolarDynamic
+			cfg.DynamicThreshold = false
+			return cfg
+		},
+	}
+	type path struct {
+		name           string
+		sliced, fastOn bool
+	}
+	paths := []path{
+		{"sliced", true, true},
+		{"per-image-fast", false, true},
+		{"float", false, false},
+	}
+	for name, mk := range designs {
+		t.Run(name, func(t *testing.T) {
+			d, err := seicore.BuildSEI(q, train, mk(), rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatalf("build SEI: %v", err)
+			}
+			run := func(p path, imgs []*tensor.Tensor, workers int) ([]int, map[string]int64) {
+				rec := obs.New()
+				d.Instrument(rec)
+				q.Instrument(rec)
+				d.SetFastPath(p.fastOn)
+				d.SetSlicedPath(p.sliced)
+				defer func() {
+					d.Instrument(nil)
+					q.Instrument(nil)
+					d.SetFastPath(true)
+					d.SetSlicedPath(true)
+				}()
+				res := nn.PredictBatchObs(rec, d, imgs, workers)
+				labels := make([]int, len(res))
+				for i, r := range res {
+					if r.Err != nil {
+						t.Fatalf("%s workers=%d image %d: %v", p.name, workers, i, r.Err)
+					}
+					labels[i] = r.Label
+				}
+				return labels, comparablePredictCounters(rec.CounterValues())
+			}
+			for _, size := range []int{1, 63, 64, 65, 256} {
+				imgs := test.Images[:size]
+				baseLabels, baseCounters := run(paths[0], imgs, 1)
+				for _, workers := range []int{1, 2, 8} {
+					for _, p := range paths {
+						if p.name == "sliced" && workers == 1 {
+							continue // the baseline itself
+						}
+						labels, counters := run(p, imgs, workers)
+						if !reflect.DeepEqual(labels, baseLabels) {
+							t.Errorf("size=%d %s workers=%d: labels diverge from sliced serial baseline", size, p.name, workers)
+						}
+						if !reflect.DeepEqual(counters, baseCounters) {
+							t.Errorf("size=%d %s workers=%d: counters diverge:\n got  %v\n want %v",
+								size, p.name, workers, counters, baseCounters)
+						}
+					}
+				}
+			}
+		})
 	}
 }

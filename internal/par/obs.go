@@ -27,6 +27,14 @@ func recordRegion(rec *obs.Recorder, n, chunkSize int) {
 	rec.Counter(MetricItems).Add(int64(n))
 }
 
+// RecordRegion counts one parallel region a caller runs inline — for
+// hot paths that skip the closure-based helpers to stay
+// allocation-free while keeping scheduling counters comparable to
+// ForEachChunkRec for the same (n, chunkSize).
+func RecordRegion(rec *obs.Recorder, n, chunkSize int) {
+	recordRegion(rec, n, chunkSize)
+}
+
 // ForEachChunkRec is ForEachChunk plus engine scheduling counters on
 // rec (nil rec records nothing).
 func ForEachChunkRec(rec *obs.Recorder, workers, n, chunkSize int, fn func(Chunk)) {

@@ -96,22 +96,28 @@ type SEIDesign struct {
 	CalibResults map[int]CalibrationResult
 
 	// fast caches the fast-path eligibility decision (ideal-analog
-	// device models everywhere; see fast.go) and scratch holds the
-	// shared *seiScratch arena pool. Both are set once by initFastPath
-	// at build/load time, before the design is shared across
-	// goroutines. fastOff is SetFastPath's override for benchmarks and
-	// path-equivalence tests.
-	fast    bool
-	fastOff bool
-	scratch *sync.Pool
+	// device models everywhere; see fast.go), scratch holds the shared
+	// *seiScratch arena pool and sliced the *slicedScratch pool of the
+	// bit-sliced batch path (sliced.go). All are set once by
+	// initFastPath at build/load time, before the design is shared
+	// across goroutines. fastOff/slicedOff are the SetFastPath/
+	// SetSlicedPath overrides for benchmarks and path-equivalence
+	// tests.
+	fast      bool
+	fastOff   bool
+	slicedOff bool
+	scratch   *sync.Pool
+	sliced    *sync.Pool
 }
 
 // initFastPath caches the fast-path decision and creates the scratch
-// arena pool. Called once at construction (BuildSEI / LoadDesign).
+// arena pools (per-image and bit-sliced). Called once at construction
+// (BuildSEI / LoadDesign).
 func (d *SEIDesign) initFastPath() {
 	d.fast = d.fastEligible()
 	if d.fast {
 		d.scratch = &sync.Pool{}
+		d.sliced = &sync.Pool{}
 	}
 }
 

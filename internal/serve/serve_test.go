@@ -427,6 +427,95 @@ func TestServeCoalescesQueuedPredicts(t *testing.T) {
 	}
 }
 
+// TestServeSlicedBurstCoalesces pins the serving-side tentpole payoff:
+// a 64-request burst against an ideal-analog design coalesces into one
+// flush, that flush runs as one bit-sliced group, and every label is
+// bit-identical to 64 sequential offline predicts.
+func TestServeSlicedBurstCoalesces(t *testing.T) {
+	f := getFastFixture(t)
+	qcfg := quant.DefaultSearchConfig()
+	qcfg.Samples = 120
+	q, _, err := quant.QuantizeNetwork(f.net, f.data, []int{1, 28, 28}, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := seicore.DefaultSEIBuildConfig()
+	bcfg.DynamicThreshold = false
+	design, err := seicore.BuildSEI(q, nil, bcfg, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !design.SlicedBatchEligible() {
+		t.Fatal("ideal-analog design is not sliced-eligible")
+	}
+
+	rec := obs.New()
+	b, err := NewBatcher(BatcherConfig{MaxBatch: 64, MaxDelay: 20 * time.Millisecond, QueueCap: 128, Workers: 2, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Hold the loop inside a gated flush, queue the full burst, then
+	// release: the 64 jobs must gather into exactly one batch.
+	gate := &gatedClassifier{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	gateDone := make(chan error, 1)
+	go func() {
+		_, err := b.Predict(context.Background(), gate, []*tensor.Tensor{f.data.Images[0]})
+		gateDone <- err
+	}()
+	<-gate.entered // the loop is now blocked in flush, past its gather
+
+	const burst = 64
+	got := make([]int, burst)
+	errs := make(chan error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Predict(context.Background(), design, []*tensor.Tensor{f.data.Images[i]})
+			if err == nil && res[0].Err != nil {
+				err = res[0].Err
+			}
+			if err != nil {
+				errs <- fmt.Errorf("request %d: %w", i, err)
+				return
+			}
+			got[i] = res[0].Label
+		}(i)
+	}
+	waitFor(t, func() bool { return b.QueueDepth() == burst })
+	close(gate.gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := <-gateDone; err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < burst; i++ {
+		if want := design.Predict(f.data.Images[i]); got[i] != want {
+			t.Fatalf("image %d: served label %d, sequential offline predict %d", i, got[i], want)
+		}
+	}
+	counters := rec.CounterValues()
+	if counters[MetricBatches] != 2 {
+		t.Errorf("serve_batches = %d, want 2 (gate + coalesced burst)", counters[MetricBatches])
+	}
+	if counters[nn.MetricSlicedGroups] != 1 {
+		t.Errorf("%s = %d, want 1 (one packed pass for the whole burst)", nn.MetricSlicedGroups, counters[nn.MetricSlicedGroups])
+	}
+	if counters[nn.MetricSlicedFallbacks] != 0 {
+		t.Errorf("%s = %d, want 0", nn.MetricSlicedFallbacks, counters[nn.MetricSlicedFallbacks])
+	}
+	if counters[MetricPredicts] != burst+1 {
+		t.Errorf("serve_predicts = %d, want %d", counters[MetricPredicts], burst+1)
+	}
+}
+
 func TestServeMetricsEndpoint(t *testing.T) {
 	f := getFastFixture(t)
 	reg := NewRegistry("", 0)

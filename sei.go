@@ -221,11 +221,13 @@ func Predict(d Classifier, img *Image) (int, error) {
 
 // PredictBatch classifies a batch of images on the deterministic
 // parallel engine (workers as in PipelineConfig: 0 = all cores, 1 =
-// serial) and returns one result per image. It uses the exact chunk
-// grid and per-chunk noise seeding of EvaluateDesign, so a batch in
-// dataset order yields labels bit-identical to the offline evaluation
-// at any batch size and worker count. Malformed images fail
-// individually with ErrBadInput; the rest of the batch is unaffected.
+// serial) and returns one result per image. Ideal-analog SEI designs
+// route full 64-image groups through the bit-sliced batch kernel (64
+// images per machine word; ragged tails run per-image) — labels stay
+// bit-identical to offline evaluation at any batch size and worker
+// count, noisy designs keep the per-image chunk grid with its
+// per-chunk noise seeding. Malformed images fail individually with
+// ErrBadInput; the rest of the batch is unaffected.
 func PredictBatch(d Classifier, imgs []*Image, workers int) ([]PredictResult, error) {
 	if err := par.Validate(workers); err != nil {
 		return nil, fmt.Errorf("sei: %w", err)
