@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-quant bench-smoke bench-scaling vet fmt ci
+.PHONY: build test race bench bench-json bench-quant bench-smoke bench-scaling bench-report vet fmt ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,15 @@ bench-quant:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# The observability front door: run every seibench suite (inference,
+# search, serve-under-load, counter-derived energy) at full measurement
+# time and write bench-reports/<date>-<sha>.json, then diff against the
+# previous comparable report. `seibench gate` turns the same diff into
+# an exit code; CI runs the quick variant on every push.
+bench-report:
+	$(GO) run ./cmd/seibench run
+	$(GO) run ./cmd/seibench compare
+
 # Parallel-scaling row: the same deterministic workload at 1, 2 and 4
 # workers (Workers=0 tracks GOMAXPROCS, which -cpu sets).
 bench-scaling:
@@ -67,3 +76,5 @@ ci:
 	$(GO) test -race ./internal/obs ./internal/par ./internal/serve ./internal/seicore ./internal/nn ./internal/vecf
 	$(GO) test -count=1 -run TestServeSmokeSIGTERM ./cmd/seiserve
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/seibench run -quick
+	$(GO) run ./cmd/seibench gate -tolerance 10

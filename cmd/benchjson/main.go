@@ -6,6 +6,10 @@
 // BENCH_PR5.json, the evidence for the incremental threshold-search
 // engine (ns/op, B/op, allocs/op and custom metrics such as
 // images/sec and skip_rate, plus derived baseline/optimized ratios).
+//
+// The parsing itself lives in internal/benchparse, shared with
+// cmd/seibench — the benchmark front door that writes trend-gated
+// bench-reports (see README "Benchmark front door").
 package main
 
 import (
@@ -14,12 +18,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"sei/internal/benchparse"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
-	rep, err := Parse(os.Stdin)
+	rep, err := benchparse.Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

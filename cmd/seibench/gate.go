@@ -1,0 +1,166 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// direction says which way a metric improves.
+type direction int8
+
+const (
+	higherIsBetter direction = 1
+	lowerIsBetter  direction = -1
+)
+
+// headlineMetric is one gated metric: a key into Report.Metrics plus
+// the direction a change must move to count as a regression.
+type headlineMetric struct {
+	Name string
+	Dir  direction
+	Unit string
+}
+
+// headlineMetrics are the trend-gated numbers: batch throughput,
+// single-image latency, calibration search cost, tail latency under
+// open-loop load, and counter-derived energy per inference. Everything
+// else in Report.Metrics is informational.
+var headlineMetrics = []headlineMetric{
+	{"images_per_sec", higherIsBetter, "images/sec"},
+	{"predict_ns_per_op", lowerIsBetter, "ns/op"},
+	{"search_ns_per_op", lowerIsBetter, "ns/op"},
+	{"serve_p99_ms", lowerIsBetter, "ms"},
+	{"pj_per_inference", lowerIsBetter, "pJ"},
+}
+
+// findingStatus classifies one metric's base→current movement.
+type findingStatus string
+
+const (
+	statusOK        findingStatus = "ok"
+	statusImproved  findingStatus = "improved"
+	statusRegressed findingStatus = "regressed"
+	// statusMissing means the metric is absent from one side (suite not
+	// run, older schema). Missing data is a warning, not a regression —
+	// failing the gate on it would punish partial runs.
+	statusMissing findingStatus = "missing"
+)
+
+// finding is one gated metric's verdict.
+type finding struct {
+	Metric   string
+	Unit     string
+	Base     float64
+	Cur      float64
+	DeltaPct float64 // signed raw change, (cur-base)/base*100
+	Status   findingStatus
+}
+
+// evaluateGate scores cur against base for every headline metric.
+// A metric regresses only when it moves in its bad direction by
+// strictly more than tolerancePct percent of the baseline value: the
+// gate is ">10 %", so a change of exactly the tolerance passes. The
+// comparison is done in multiplicative form (worsening > base·tol/100)
+// rather than on a computed percentage, so the boundary is exact and
+// free of the rounding a divide-then-compare would introduce.
+func evaluateGate(base, cur *Report, tolerancePct float64) []finding {
+	findings := make([]finding, 0, len(headlineMetrics))
+	for _, hm := range headlineMetrics {
+		f := finding{Metric: hm.Name, Unit: hm.Unit}
+		bv, bok := base.Metrics[hm.Name]
+		cv, cok := cur.Metrics[hm.Name]
+		f.Base, f.Cur = bv, cv
+		if !bok || !cok {
+			f.Status = statusMissing
+			findings = append(findings, f)
+			continue
+		}
+		if bv != 0 {
+			f.DeltaPct = (cv - bv) / bv * 100
+		}
+		worsening := cv - bv // lower-is-better: growth is bad
+		if hm.Dir == higherIsBetter {
+			worsening = bv - cv
+		}
+		allowance := bv * tolerancePct / 100
+		if allowance < 0 {
+			allowance = -allowance
+		}
+		switch {
+		case worsening > allowance:
+			f.Status = statusRegressed
+		case worsening < 0:
+			f.Status = statusImproved
+		default:
+			f.Status = statusOK
+		}
+		findings = append(findings, f)
+	}
+	return findings
+}
+
+// regressions counts gate failures in a finding set.
+func regressions(findings []finding) int {
+	n := 0
+	for _, f := range findings {
+		if f.Status == statusRegressed {
+			n++
+		}
+	}
+	return n
+}
+
+// describe renders one report's identity for compare/gate headers.
+func describe(rep *Report) string {
+	mode := "full"
+	if rep.Quick {
+		mode = "quick"
+	}
+	name := rep.path
+	if name == "" {
+		name = "(unsaved)"
+	}
+	return fmt.Sprintf("%s  (%s, %s, %s)", name, rep.StartedAt.Format("2006-01-02 15:04"), rep.GitSHA, mode)
+}
+
+// printFindings writes the gate/compare table: headline metrics first
+// with their verdicts, then the remaining shared metrics for context.
+func printFindings(w io.Writer, base, cur *Report, findings []finding) {
+	fmt.Fprintf(w, "baseline: %s\n", describe(base))
+	fmt.Fprintf(w, "current:  %s\n\n", describe(cur))
+	fmt.Fprintf(w, "%-22s %14s %14s %9s  %s\n", "headline metric", "baseline", "current", "delta", "status")
+	headline := map[string]bool{}
+	for _, f := range findings {
+		headline[f.Metric] = true
+		if f.Status == statusMissing {
+			side := "current"
+			if _, ok := base.Metrics[f.Metric]; !ok {
+				side = "baseline"
+			}
+			fmt.Fprintf(w, "%-22s %14s %14s %9s  %s (absent from %s report)\n",
+				f.Metric, "-", "-", "-", f.Status, side)
+			continue
+		}
+		fmt.Fprintf(w, "%-22s %14.1f %14.1f %+8.1f%%  %s\n", f.Metric, f.Base, f.Cur, f.DeltaPct, f.Status)
+	}
+	var rest []string
+	for name := range cur.Metrics {
+		if _, shared := base.Metrics[name]; shared && !headline[name] {
+			rest = append(rest, name)
+		}
+	}
+	if len(rest) == 0 {
+		return
+	}
+	sort.Strings(rest)
+	fmt.Fprintf(w, "\n%-22s %14s %14s %9s\n", "other metric", "baseline", "current", "delta")
+	for _, name := range rest {
+		bv, cv := base.Metrics[name], cur.Metrics[name]
+		delta := 0.0
+		if bv != 0 {
+			delta = (cv - bv) / bv * 100
+		}
+		fmt.Fprintf(w, "%-22s %14.1f %14.1f %+8.1f%%\n", name, bv, cv, delta)
+	}
+}

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gateArgs runs the CLI entry point and returns (exit code, stdout,
+// stderr) — the contract CI depends on.
+func gateArgs(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestGateRegressionFixtureExitsNonZero(t *testing.T) {
+	code, out, errb := gateArgs(t, "gate", "-tolerance", "10", "testdata/base.json", "testdata/regressed.json")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(errb, "gate failed") {
+		t.Errorf("stderr lacks gate failure message:\n%s", errb)
+	}
+	// images/sec fell 15% and predict ns/op rose 15%: both named.
+	for _, m := range []string{"images_per_sec", "predict_ns_per_op"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("stdout does not mention %s:\n%s", m, out)
+		}
+	}
+	// Only the two >10% movements fail; the 2% search and 5% p99
+	// worsenings are inside tolerance.
+	findings := mustFindings(t, "testdata/base.json", "testdata/regressed.json", 10)
+	byName := map[string]findingStatus{}
+	for _, f := range findings {
+		byName[f.Metric] = f.Status
+	}
+	if byName["images_per_sec"] != statusRegressed || byName["predict_ns_per_op"] != statusRegressed {
+		t.Errorf("expected images_per_sec and predict_ns_per_op regressed, got %v", byName)
+	}
+	if byName["search_ns_per_op"] == statusRegressed || byName["serve_p99_ms"] == statusRegressed {
+		t.Errorf("within-tolerance worsenings flagged as regressions: %v", byName)
+	}
+	if regressions(findings) != 2 {
+		t.Errorf("regressions = %d, want 2: %v", regressions(findings), byName)
+	}
+}
+
+func TestCompareReportsButNeverFails(t *testing.T) {
+	code, out, _ := gateArgs(t, "compare", "testdata/base.json", "testdata/regressed.json")
+	if code != 0 {
+		t.Fatalf("compare exit code %d, want 0 (compare informs, gate enforces)\n%s", code, out)
+	}
+	if !strings.Contains(out, "regressed") {
+		t.Errorf("compare output does not flag the regression:\n%s", out)
+	}
+}
+
+func TestGateExactThresholdBoundaryPasses(t *testing.T) {
+	// Every headline metric in boundary.json is worse by exactly 10%.
+	// The gate is ">10%": exactly at the line passes.
+	code, out, errb := gateArgs(t, "gate", "-tolerance", "10", "testdata/base.json", "testdata/boundary.json")
+	if code != 0 {
+		t.Fatalf("exact-boundary gate exit code %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	// One epsilon beyond the boundary fails: tighten the tolerance the
+	// tiniest representable amount below the actual 10% movement.
+	code, _, _ = gateArgs(t, "gate", "-tolerance", "9.999999", "testdata/base.json", "testdata/boundary.json")
+	if code != 1 {
+		t.Fatalf("just-beyond-boundary gate exit code %d, want 1", code)
+	}
+}
+
+func TestGateMissingMetricWarnsButPasses(t *testing.T) {
+	code, out, errb := gateArgs(t, "gate", "testdata/base.json", "testdata/missing.json")
+	if code != 0 {
+		t.Fatalf("missing-metric gate exit code %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(errb, "pj_per_inference") || !strings.Contains(errb, "warning") {
+		t.Errorf("stderr lacks missing-metric warning for pj_per_inference:\n%s", errb)
+	}
+	if !strings.Contains(out, "missing") {
+		t.Errorf("stdout does not mark the metric missing:\n%s", out)
+	}
+}
+
+func TestGateFirstRunHasNoBaselineAndPasses(t *testing.T) {
+	dir := t.TempDir()
+	rep := testReport("eeee555", time.Date(2026, 8, 3, 10, 0, 0, 0, time.UTC))
+	if _, err := writeReport(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := gateArgs(t, "gate", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("first-run gate exit code %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if !strings.Contains(out, "no comparable baseline") {
+		t.Errorf("stdout lacks first-run note:\n%s", out)
+	}
+}
+
+func TestGateEmptyDirIsAnError(t *testing.T) {
+	code, _, errb := gateArgs(t, "gate", "-dir", t.TempDir())
+	if code != 2 {
+		t.Fatalf("empty-dir gate exit code %d, want 2\nstderr:\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "seibench run") {
+		t.Errorf("error does not tell the user to run first:\n%s", errb)
+	}
+}
+
+func TestBaselineSkipsOtherMachinesAndModes(t *testing.T) {
+	at := func(day int) time.Time { return time.Date(2026, 8, day, 10, 0, 0, 0, time.UTC) }
+	cur := testReport("cur0000", at(10))
+	otherCPU := testReport("aaa0001", at(9))
+	otherCPU.Machine.CPU = "Different CPU"
+	fullMode := testReport("aaa0002", at(8))
+	fullMode.Quick = false
+	match := testReport("aaa0003", at(7))
+	newerMatch := testReport("aaa0004", at(9))
+	future := testReport("aaa0005", at(11))
+	history := []*Report{match, fullMode, otherCPU, newerMatch, cur, future}
+	if got := baselineFor(cur, history); got != newerMatch {
+		t.Fatalf("baselineFor picked %+v, want the newest comparable older report (aaa0004)", got)
+	}
+	// A machine with no comparable history gates against nothing.
+	lone := testReport("lone000", at(12))
+	lone.Machine.GOARCH = "arm64"
+	if got := baselineFor(lone, append(history, lone)); got != nil {
+		t.Fatalf("baselineFor found %+v for a foreign machine, want nil", got)
+	}
+}
+
+func TestEvaluateGateDirections(t *testing.T) {
+	base := testReport("b", time.Time{})
+	cur := testReport("c", time.Time{})
+	// Throughput up and latency down are improvements, never failures,
+	// no matter how large.
+	cur.Metrics["images_per_sec"] = base.Metrics["images_per_sec"] * 5
+	cur.Metrics["predict_ns_per_op"] = base.Metrics["predict_ns_per_op"] / 5
+	findings := evaluateGate(base, cur, 10)
+	if regressions(findings) != 0 {
+		t.Fatalf("improvements counted as regressions: %+v", findings)
+	}
+	improved := 0
+	for _, f := range findings {
+		if f.Status == statusImproved {
+			improved++
+		}
+	}
+	if improved != 2 {
+		t.Errorf("improved = %d, want 2: %+v", improved, findings)
+	}
+}
+
+func TestReportRoundTripAndOrdering(t *testing.T) {
+	dir := t.TempDir()
+	newer := testReport("new0000", time.Date(2026, 8, 5, 10, 0, 0, 0, time.UTC))
+	older := testReport("old0000", time.Date(2026, 8, 4, 10, 0, 0, 0, time.UTC))
+	// Write newest first: ordering must come from StartedAt, not
+	// directory listing order.
+	for _, rep := range []*Report{newer, older} {
+		if _, err := writeReport(dir, rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	history, err := loadReports(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("loaded %d reports, want 2", len(history))
+	}
+	if history[0].GitSHA != "old0000" || history[1].GitSHA != "new0000" {
+		t.Fatalf("history order %s, %s; want old0000, new0000", history[0].GitSHA, history[1].GitSHA)
+	}
+	got := history[1]
+	if got.Schema != SchemaVersion || !got.StartedAt.Equal(newer.StartedAt) || !got.Machine.Comparable(newer.Machine) {
+		t.Errorf("round-trip mangled the report: %+v", got)
+	}
+	if got.Metrics["images_per_sec"] != newer.Metrics["images_per_sec"] {
+		t.Errorf("metrics did not survive the round trip")
+	}
+	if got.path == "" || filepath.Dir(got.path) != dir {
+		t.Errorf("loaded report path %q not under %s", got.path, dir)
+	}
+}
+
+func TestSameDayRerunDoesNotClobber(t *testing.T) {
+	dir := t.TempDir()
+	first := testReport("same000", time.Date(2026, 8, 6, 10, 0, 0, 0, time.UTC))
+	second := testReport("same000", time.Date(2026, 8, 6, 11, 30, 0, 0, time.UTC))
+	p1, err := writeReport(dir, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := writeReport(dir, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatalf("second same-day run reused %s", p1)
+	}
+	history, err := loadReports(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("loaded %d reports, want 2", len(history))
+	}
+}
+
+// mustFindings loads two fixture reports and gates them.
+func mustFindings(t *testing.T, basePath, curPath string, tol float64) []finding {
+	t.Helper()
+	base, err := loadReport(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := loadReport(curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evaluateGate(base, cur, tol)
+}
+
+// testReport builds an in-memory report matching the testdata machine.
+func testReport(sha string, at time.Time) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		StartedAt: at,
+		GitSHA:    sha,
+		Quick:     true,
+		Suites:    []string{"inference", "search", "serve", "energy"},
+		Machine: Machine{
+			GOOS: "linux", GOARCH: "amd64",
+			CPU: "Test CPU @ 2.00GHz", NumCPU: 1, GoVersion: "go1.24.0",
+		},
+		Metrics: map[string]float64{
+			"images_per_sec":    1000,
+			"predict_ns_per_op": 100000,
+			"search_ns_per_op":  500000000,
+			"serve_p99_ms":      20,
+			"pj_per_inference":  1200,
+		},
+	}
+}

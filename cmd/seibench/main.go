@@ -1,0 +1,238 @@
+// Command seibench is the repository's observability front door: one
+// binary that runs the benchmark suites, captures machine metadata,
+// derives energy-per-inference from the hardware counters, and gates
+// trends across runs.
+//
+// Usage:
+//
+//	seibench run  [-quick] [-dir bench-reports] [-seed N] [-rate R] [-requests N] [suite...]
+//	seibench compare [-dir bench-reports] [baseline.json current.json]
+//	seibench gate [-dir bench-reports] [-tolerance 10] [baseline.json current.json]
+//	seibench list [-dir bench-reports]
+//
+// `run` executes the requested suites (default: all of inference,
+// search, serve, energy) and writes bench-reports/<date>-<sha>.json.
+// The inference and search suites shell out to the repo's own `go
+// test -bench` benchmarks; the serve suite stands up the real HTTP
+// stack in-process and drives it with the deterministic open-loop
+// generator (internal/load); the energy suite joins obs hardware
+// counters against the power library for pJ/inference.
+//
+// `compare` diffs the newest report against its most recent comparable
+// baseline (same GOOS/GOARCH/CPU/core-count and quick/full mode).
+// `gate` does the same and exits non-zero when any headline metric —
+// images/sec, predict ns/op, search ns/op, serve p99, pJ/inference —
+// regressed by strictly more than the tolerance. A first run with no
+// comparable baseline passes with a note, as does a metric missing
+// from one side. `make ci` runs `seibench run -quick` + `seibench
+// gate`.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: seibench <command> [flags]
+
+commands:
+  run      run benchmark suites and write a report (suites: inference search serve energy)
+  compare  diff the newest report against its most recent comparable baseline
+  gate     like compare, but exit 1 on >tolerance% headline regression
+  list     list stored reports
+
+run 'seibench <command> -h' for command flags`)
+}
+
+// run dispatches to a subcommand and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "run":
+		err = cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		err = cmdCompareGate(args[1:], stdout, stderr, false)
+	case "gate":
+		err = cmdCompareGate(args[1:], stdout, stderr, true)
+	case "list":
+		err = cmdList(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "seibench: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, errGateFailed):
+		fmt.Fprintln(stderr, "seibench:", err)
+		return 1
+	default:
+		fmt.Fprintln(stderr, "seibench:", err)
+		return 2
+	}
+}
+
+// errGateFailed distinguishes "regression detected" (exit 1, the
+// signal CI keys on) from operational errors (exit 2).
+var errGateFailed = errors.New("gate failed: headline metric regressed beyond tolerance")
+
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	cfg := runConfig{Suites: map[string]bool{}}
+	fs := flag.NewFlagSet("seibench run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&cfg.Quick, "quick", false, "fast mode: single benchmark iterations, smaller fixture and load (CI)")
+	fs.StringVar(&cfg.Dir, "dir", DefaultReportDir, "report directory")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "seed for the fixture pipeline and the load schedule")
+	fs.Float64Var(&cfg.Rate, "rate", 0, "serve suite offered load in requests/sec (0 = mode default)")
+	fs.IntVar(&cfg.Requests, "requests", 0, "serve suite request count (0 = mode default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		for _, s := range allSuites {
+			cfg.Suites[s] = true
+		}
+	}
+	for _, s := range fs.Args() {
+		ok := false
+		for _, known := range allSuites {
+			if s == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown suite %q (suites: %v)", s, allSuites)
+		}
+		cfg.Suites[s] = true
+	}
+	rep, err := runAll(cfg, time.Now().UTC(), stderr)
+	if err != nil {
+		return err
+	}
+	path, err := writeReport(cfg.Dir, rep)
+	if err != nil {
+		return err
+	}
+	printRunSummary(stdout, rep, path)
+	return nil
+}
+
+// cmdCompareGate implements both compare (report only) and gate
+// (non-zero exit on regression): the two differ only in what a
+// regression means for the exit code.
+func cmdCompareGate(args []string, stdout, stderr io.Writer, gating bool) error {
+	name := "seibench compare"
+	if gating {
+		name = "seibench gate"
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", DefaultReportDir, "report directory")
+	tol := fs.Float64("tolerance", 10, "allowed headline-metric worsening in percent; strictly beyond it fails")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tol < 0 {
+		return fmt.Errorf("negative tolerance %g", *tol)
+	}
+
+	var base, cur *Report
+	switch fs.NArg() {
+	case 2:
+		var err error
+		if base, err = loadReport(fs.Arg(0)); err != nil {
+			return err
+		}
+		if cur, err = loadReport(fs.Arg(1)); err != nil {
+			return err
+		}
+	case 0:
+		history, err := loadReports(*dir)
+		if err != nil {
+			return err
+		}
+		if len(history) == 0 {
+			return fmt.Errorf("no reports in %s — run `seibench run` first", *dir)
+		}
+		cur = history[len(history)-1]
+		base = baselineFor(cur, history)
+		if base == nil {
+			fmt.Fprintf(stdout, "current: %s\n", describe(cur))
+			fmt.Fprintln(stdout, "no comparable baseline (first run on this machine/mode): nothing to gate, passing")
+			return nil
+		}
+	default:
+		return fmt.Errorf("want zero or two report paths, got %d", fs.NArg())
+	}
+
+	findings := evaluateGate(base, cur, *tol)
+	printFindings(stdout, base, cur, findings)
+	for _, f := range findings {
+		if f.Status == statusMissing {
+			fmt.Fprintf(stderr, "%s: warning: headline metric %s missing from one report\n", name, f.Metric)
+		}
+	}
+	if n := regressions(findings); n > 0 && gating {
+		return fmt.Errorf("%w (%d of %d headline metrics, tolerance %g%%)", errGateFailed, n, len(headlineMetrics), *tol)
+	}
+	return nil
+}
+
+func cmdList(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("seibench list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", DefaultReportDir, "report directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	history, err := loadReports(*dir)
+	if err != nil {
+		return err
+	}
+	if len(history) == 0 {
+		fmt.Fprintf(stdout, "no reports in %s\n", *dir)
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-17s %-9s %-6s %13s %13s %10s %10s  %s\n",
+		"started (UTC)", "sha", "mode", "images/sec", "predict ns", "p99 ms", "pJ/inf", "file")
+	for _, rep := range history {
+		mode := "full"
+		if rep.Quick {
+			mode = "quick"
+		}
+		cell := func(name string) string {
+			if v, ok := rep.Metrics[name]; ok {
+				return fmt.Sprintf("%.1f", v)
+			}
+			return "-"
+		}
+		sha := rep.GitSHA
+		if sha == "" {
+			sha = "-"
+		}
+		fmt.Fprintf(stdout, "%-17s %-9s %-6s %13s %13s %10s %10s  %s\n",
+			rep.StartedAt.Format("2006-01-02 15:04"), sha, mode,
+			cell("images_per_sec"), cell("predict_ns_per_op"),
+			cell("serve_p99_ms"), cell("pj_per_inference"), rep.path)
+	}
+	return nil
+}

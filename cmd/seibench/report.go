@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"sei/internal/benchparse"
+	"sei/internal/obs"
+)
+
+// SchemaVersion identifies the bench-report JSON layout; bump on
+// incompatible changes so gate/compare can refuse mixed histories.
+const SchemaVersion = 1
+
+// DefaultReportDir is where `seibench run` writes and the other
+// subcommands read.
+const DefaultReportDir = "bench-reports"
+
+// Machine identifies the hardware/toolchain a report was produced on.
+// compare and gate only look at reports from the same machine — a
+// laptop's images/sec regressing against a CI runner's is noise, not
+// signal.
+type Machine struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// Comparable reports whether two reports were produced under
+// conditions where a metric delta means something: same platform, CPU
+// model, core count and run mode (quick vs full measurement).
+func (m Machine) Comparable(o Machine) bool {
+	return m.GOOS == o.GOOS && m.GOARCH == o.GOARCH && m.CPU == o.CPU && m.NumCPU == o.NumCPU
+}
+
+// ServeResult is the serving suite's section of a report: the
+// open-loop generator's client-side view.
+type ServeResult struct {
+	OfferedRPS  float64             `json:"offered_rps"`
+	AchievedRPS float64             `json:"achieved_rps"`
+	Requests    int                 `json:"requests"`
+	Errors      int                 `json:"errors"`
+	Dropped     int                 `json:"dropped"`
+	Latency     obs.HistogramReport `json:"latency"`
+}
+
+// Report is one `seibench run` outcome: machine metadata, every suite
+// metric, and the raw benchmark lines for archaeology. DESIGN.md §14
+// documents the schema.
+type Report struct {
+	Schema     int                    `json:"schema"`
+	StartedAt  time.Time              `json:"started_at"`
+	GitSHA     string                 `json:"git_sha,omitempty"`
+	Quick      bool                   `json:"quick"`
+	Suites     []string               `json:"suites"`
+	Machine    Machine                `json:"machine"`
+	Metrics    map[string]float64     `json:"metrics"`
+	Counters   map[string]int64       `json:"counters,omitempty"`
+	Serve      *ServeResult           `json:"serve,omitempty"`
+	Benchmarks []benchparse.Benchmark `json:"benchmarks,omitempty"`
+	Derived    map[string]float64     `json:"derived,omitempty"`
+	Notes      []string               `json:"notes,omitempty"`
+
+	// path is where the report was loaded from (not serialized).
+	path string `json:"-"`
+}
+
+// hostMachine collects the current process's machine identity. The
+// CPU model prefers go test's own "cpu:" header (already normalized
+// by the toolchain) and falls back to /proc/cpuinfo.
+func hostMachine(benchCPU string) Machine {
+	m := Machine{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPU:       benchCPU,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	if m.CPU == "" {
+		m.CPU = procCPUModel()
+	}
+	return m
+}
+
+// procCPUModel extracts the first "model name" from /proc/cpuinfo
+// (empty off Linux or on failure — comparability then keys on the
+// remaining fields).
+func procCPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// reportFileName is <date>-<sha>.json; a second run of the same
+// commit on the same day gets a time suffix instead of clobbering the
+// earlier report.
+func reportFileName(dir string, at time.Time, sha string) string {
+	if sha == "" {
+		sha = "nogit"
+	}
+	base := fmt.Sprintf("%s-%s", at.Format("2006-01-02"), sha)
+	path := filepath.Join(dir, base+".json")
+	if _, err := os.Stat(path); err == nil {
+		path = filepath.Join(dir, fmt.Sprintf("%s-%s.json", base, at.Format("150405")))
+	}
+	return path
+}
+
+// writeReport persists rep under dir, creating it.
+func writeReport(dir string, rep *Report) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := reportFileName(dir, rep.StartedAt, rep.GitSHA)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// loadReport reads one report file.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this seibench reads %d", path, rep.Schema, SchemaVersion)
+	}
+	rep.path = path
+	return &rep, nil
+}
+
+// loadReports reads every report in dir, oldest first (by embedded
+// StartedAt, not filename, so same-day re-runs order correctly).
+// Unreadable or foreign-schema files are skipped with a warning on
+// stderr rather than poisoning the whole history.
+func loadReports(dir string) ([]*Report, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var reps []*Report
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		rep, err := loadReport(filepath.Join(dir, e.Name()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seibench: skipping", err)
+			continue
+		}
+		reps = append(reps, rep)
+	}
+	sort.SliceStable(reps, func(i, j int) bool { return reps[i].StartedAt.Before(reps[j].StartedAt) })
+	return reps, nil
+}
+
+// baselineFor returns the most recent report older than cur that was
+// produced on a comparable machine in the same run mode, or nil when
+// cur is the first of its kind (first run on a new machine: nothing
+// to gate against).
+func baselineFor(cur *Report, history []*Report) *Report {
+	var base *Report
+	for _, r := range history {
+		if r == cur || !r.StartedAt.Before(cur.StartedAt) {
+			continue
+		}
+		if r.Quick != cur.Quick || !r.Machine.Comparable(cur.Machine) {
+			continue
+		}
+		if base == nil || r.StartedAt.After(base.StartedAt) {
+			base = r
+		}
+	}
+	return base
+}
+
+// gitSHA returns the current short commit hash ("" outside a repo).
+func gitSHA() string {
+	out, err := execOutput("git", "rev-parse", "--short", "HEAD")
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(out)
+}

@@ -1,0 +1,333 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"time"
+
+	"sei/internal/benchparse"
+	"sei/internal/load"
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/obs"
+	"sei/internal/power"
+	"sei/internal/quant"
+	"sei/internal/seicore"
+	"sei/internal/serve"
+)
+
+// runConfig sizes one `seibench run`.
+type runConfig struct {
+	Quick    bool
+	Dir      string
+	Seed     int64
+	Rate     float64 // serve suite offered load (0 = mode default)
+	Requests int     // serve suite request count (0 = mode default)
+	Suites   map[string]bool
+}
+
+// allSuites is every suite `seibench run` knows, in execution order.
+var allSuites = []string{"inference", "search", "serve", "energy"}
+
+// benchPattern maps the requested suites onto a -bench regex; the
+// inference and search suites share one `go test` invocation (and thus
+// one trained/calibrated bench context).
+func benchPattern(suites map[string]bool) string {
+	var names []string
+	if suites["inference"] {
+		names = append(names, "BenchmarkSEIPredict", "BenchmarkSEIPredictBatchSliced")
+	}
+	if suites["search"] {
+		names = append(names, "BenchmarkSearchThresholds")
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	pat := "^("
+	for i, n := range names {
+		if i > 0 {
+			pat += "|"
+		}
+		pat += n
+	}
+	return pat + ")$"
+}
+
+// execOutput runs one command in the current directory and returns its
+// combined output.
+func execOutput(name string, args ...string) (string, error) {
+	var buf bytes.Buffer
+	cmd := exec.Command(name, args...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+// runBenchSuite shells out to `go test -bench` for the inference and
+// search suites — the benchmarks stay the single source of truth for
+// kernel timing, and seibench only parses what they print. Quick mode
+// runs each benchmark once (-benchtime=1x); the dominant cost either
+// way is the shared bench context (training + calibrating Network 2).
+func runBenchSuite(cfg runConfig, stderr io.Writer) (*benchparse.Report, error) {
+	pattern := benchPattern(cfg.Suites)
+	if pattern == "" {
+		return &benchparse.Report{}, nil
+	}
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
+	if cfg.Quick {
+		// 100ms per benchmark instead of the default 1s: enough
+		// iterations for the fast kernels to average out scheduler
+		// noise (a single -benchtime=1x sample can swing well past any
+		// sane gate tolerance) while the slow calibration search still
+		// completes in one iteration.
+		args = append(args, "-benchtime", "100ms")
+	}
+	args = append(args, ".")
+	fmt.Fprintln(stderr, "seibench: go", args)
+	out, err := execOutput("go", args...)
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench failed: %w\n%s", err, out)
+	}
+	return benchparse.Parse(strings.NewReader(out))
+}
+
+// pipeline is the shared in-process fixture for the serve and energy
+// suites: a trained, calibrated, SEI-built Network 2 plus its test
+// split. Deliberately smaller than the go-test bench context — these
+// suites measure the serving stack and the energy accounting, not
+// model quality.
+type pipeline struct {
+	design *seicore.SEIDesign
+	test   *mnist.Dataset
+}
+
+// buildPipeline trains and quantizes the fixture. Sizes follow the
+// serve package's test fixture; quick mode halves the training set.
+func buildPipeline(cfg runConfig, stderr io.Writer) (*pipeline, error) {
+	nTrain, epochs := 600, 2
+	if cfg.Quick {
+		nTrain, epochs = 400, 1
+	}
+	fmt.Fprintf(stderr, "seibench: building pipeline fixture (train=%d, epochs=%d)\n", nTrain, epochs)
+	train, test := mnist.SyntheticSplit(nTrain, 2*nn.SlicedGroupSize, cfg.Seed)
+	net := nn.NewTableNetwork(2, cfg.Seed)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = epochs
+	tcfg.Seed = cfg.Seed
+	nn.Train(net, train, tcfg)
+	scfg := quant.DefaultSearchConfig()
+	scfg.Samples = 100
+	q, _, err := quant.QuantizeNetwork(net, train, []int{1, mnist.Side, mnist.Side}, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("quantize: %w", err)
+	}
+	bcfg := seicore.DefaultSEIBuildConfig()
+	bcfg.DynamicThreshold = false
+	d, err := seicore.BuildSEI(q, nil, bcfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("build SEI: %w", err)
+	}
+	return &pipeline{design: d, test: test}, nil
+}
+
+// runServeSuite stands up the real HTTP stack (registry → batcher →
+// handler) in-process and drives it with the open-loop generator:
+// single-image POST /v1/predict requests on a seeded Poisson schedule,
+// client-side latency quantiles from the same histogram buckets the
+// server exports.
+func runServeSuite(cfg runConfig, p *pipeline, stderr io.Writer) (*ServeResult, error) {
+	rec := obs.New()
+	reg := serve.NewRegistry("", cfg.Seed)
+	reg.Register("bench", p.design)
+	b, err := serve.NewBatcher(serve.BatcherConfig{
+		MaxBatch: 64,
+		MaxDelay: 2 * time.Millisecond,
+		QueueCap: 256,
+		Obs:      rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	ts := httptest.NewServer(serve.NewHandler(serve.Options{Registry: reg, Batcher: b, Obs: rec}))
+	defer ts.Close()
+
+	img := p.test.Images[0].Data()
+	body, err := json.Marshal(map[string]any{"design": "bench", "images": [][]float64{img}})
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	lcfg := load.Config{
+		Rate:     cfg.Rate,
+		Requests: cfg.Requests,
+		Seed:     cfg.Seed,
+		Timeout:  10 * time.Second,
+	}
+	if lcfg.Rate <= 0 {
+		lcfg.Rate = 250
+		if cfg.Quick {
+			lcfg.Rate = 150
+		}
+	}
+	if lcfg.Requests <= 0 {
+		lcfg.Requests = 1500
+		if cfg.Quick {
+			lcfg.Requests = 300
+		}
+	}
+	fmt.Fprintf(stderr, "seibench: serve suite — %d requests at %.0f/s (open loop)\n", lcfg.Requests, lcfg.Rate)
+	res, err := load.Run(context.Background(), lcfg, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ServeResult{
+		OfferedRPS:  res.OfferedRate,
+		AchievedRPS: res.AchievedRate,
+		Requests:    res.Sent,
+		Errors:      res.Errors,
+		Dropped:     res.Dropped,
+		Latency:     res.Latency,
+	}, nil
+}
+
+// runEnergySuite evaluates the fixture design with hardware counters
+// on and joins the totals against the power library: the counter-
+// derived pJ/inference trend metric (see DESIGN.md §14 for how this
+// relates to the static internal/arch accounting).
+func runEnergySuite(cfg runConfig, p *pipeline, rep *Report, stderr io.Writer) error {
+	fmt.Fprintf(stderr, "seibench: energy suite — instrumented evaluation over %d images\n", len(p.test.Images))
+	rec := obs.New()
+	p.design.Instrument(rec)
+	errRate := nn.ClassifierErrorRateObs(rec, p.design, p.test, 0)
+	obsRep := rec.Report("seibench")
+	images := obsRep.Counters[nn.MetricEvalImages]
+	pj, err := power.EnergyPerInferencePJ(obsRep, power.DefaultLibrary(), images)
+	if err != nil {
+		return err
+	}
+	breakdown, err := power.EnergyFromCounters(obsRep, power.DefaultLibrary())
+	if err != nil {
+		return err
+	}
+	rep.Metrics["pj_per_inference"] = pj
+	rep.Metrics["error_rate"] = errRate
+	rep.Counters = obsRep.Counters
+	rep.Derived["energy_sa_pj"] = breakdown.SA
+	rep.Derived["energy_rram_pj"] = breakdown.RRAM
+	rep.Derived["energy_driver_pj"] = breakdown.Driver
+	rep.Derived["energy_digital_pj"] = breakdown.Digital
+	return nil
+}
+
+// runAll executes the requested suites and assembles the report.
+func runAll(cfg runConfig, now time.Time, stderr io.Writer) (*Report, error) {
+	rep := &Report{
+		Schema:    SchemaVersion,
+		StartedAt: now,
+		GitSHA:    gitSHA(),
+		Quick:     cfg.Quick,
+		Metrics:   map[string]float64{},
+		Derived:   map[string]float64{},
+	}
+	for _, s := range allSuites {
+		if cfg.Suites[s] {
+			rep.Suites = append(rep.Suites, s)
+		}
+	}
+
+	bench, err := runBenchSuite(cfg, stderr)
+	if err != nil {
+		return nil, err
+	}
+	rep.Benchmarks = bench.Benchmarks
+	for k, v := range bench.Derived {
+		rep.Derived[k] = v
+	}
+	for _, b := range bench.Benchmarks {
+		switch b.Name {
+		case "SEIPredict":
+			rep.Metrics["predict_ns_per_op"] = b.Metrics["ns/op"]
+		case "SEIPredictBatchSliced":
+			rep.Metrics["images_per_sec"] = b.Metrics["images/sec"]
+		case "SearchThresholds":
+			rep.Metrics["search_ns_per_op"] = b.Metrics["ns/op"]
+		}
+	}
+	rep.Machine = hostMachine(bench.CPU)
+	if rep.GitSHA == "" {
+		rep.Notes = append(rep.Notes, "git SHA unavailable")
+	}
+
+	if cfg.Suites["serve"] || cfg.Suites["energy"] {
+		p, err := buildPipeline(cfg, stderr)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Suites["serve"] {
+			sr, err := runServeSuite(cfg, p, stderr)
+			if err != nil {
+				return nil, err
+			}
+			rep.Serve = sr
+			rep.Metrics["serve_p50_ms"] = sr.Latency.Quantile(0.50) * 1000
+			rep.Metrics["serve_p99_ms"] = sr.Latency.Quantile(0.99) * 1000
+			rep.Metrics["serve_p999_ms"] = sr.Latency.Quantile(0.999) * 1000
+			rep.Metrics["serve_achieved_rps"] = sr.AchievedRPS
+			if sr.Errors > 0 || sr.Dropped > 0 {
+				rep.Notes = append(rep.Notes,
+					fmt.Sprintf("serve suite: %d errors, %d dropped of %d requests", sr.Errors, sr.Dropped, sr.Requests+sr.Dropped))
+			}
+		}
+		if cfg.Suites["energy"] {
+			if err := runEnergySuite(cfg, p, rep, stderr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(rep.Derived) == 0 {
+		rep.Derived = nil
+	}
+	return rep, nil
+}
+
+// printRunSummary gives the human one screen of what just happened.
+func printRunSummary(w io.Writer, rep *Report, path string) {
+	fmt.Fprintf(w, "report: %s\n", path)
+	fmt.Fprintf(w, "machine: %s/%s, %d CPU, %s\n", rep.Machine.GOOS, rep.Machine.GOARCH, rep.Machine.NumCPU, rep.Machine.CPU)
+	for _, hm := range headlineMetrics {
+		if v, ok := rep.Metrics[hm.Name]; ok {
+			fmt.Fprintf(w, "  %-20s %14.1f %s\n", hm.Name, v, hm.Unit)
+		}
+	}
+	for _, note := range rep.Notes {
+		fmt.Fprintf(w, "note: %s\n", note)
+	}
+}

@@ -1,7 +1,11 @@
 // Energy breakdown: reproduces the motivation of the paper's Fig. 1 —
 // in a traditional RRAM CNN the ADC/DAC interfaces, not the crossbars,
-// consume nearly all energy and area — and then shows how the three
-// structures of Table 5 compare on all three Table-2 networks.
+// consume nearly all energy and area — then shows how the three
+// structures of Table 5 compare on all three Table-2 networks, and
+// finally derives a *measured* per-inference SEI energy by joining the
+// hardware-event counters of an instrumented evaluation against the
+// same power library (sei.EnergyFromCounters — the accounting path
+// cmd/seibench's run reports use).
 //
 // Run with: go run ./examples/energy_breakdown
 package main
@@ -14,10 +18,43 @@ import (
 	"sei"
 )
 
+// measuredEnergy evaluates an SEI design with instrumentation and
+// prints the counter-derived per-inference energy breakdown.
+func measuredEnergy(q *sei.QuantizedNet, train, test *sei.Dataset) {
+	opts := sei.DefaultBuildOptions()
+	opts.DynamicThreshold = false // geometry/activity demo; skip calibration
+	design, err := sei.BuildDesign(q, train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := sei.NewRecorder()
+	sei.EvaluateDesignObs(rec, design, test, 0)
+	rep := rec.Report("energy_breakdown")
+	breakdown, err := sei.EnergyFromCounters(rep, sei.DefaultPowerLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	perInf, err := sei.EnergyPerInferencePJ(rep, sei.DefaultPowerLibrary())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMeasured (counter-derived) SEI energy over %d images:\n", test.Len())
+	fmt.Printf("  %-10s %14s\n", "component", "energy (pJ)")
+	for _, row := range []struct {
+		name string
+		pj   float64
+	}{{"SA", breakdown.SA}, {"RRAM", breakdown.RRAM}, {"driver", breakdown.Driver}, {"digital", breakdown.Digital}} {
+		fmt.Printf("  %-10s %14.1f\n", row.name, row.pj)
+	}
+	fmt.Printf("  %-10s %14.1f  (%.2f pJ/inference)\n", "total", breakdown.Total(), perInf)
+	fmt.Println("  (sense-amp events replace every ADC conversion; DAC energy is 0 by construction)")
+}
+
 func main() {
 	fmt.Println("Interface cost across structures (synthetic MNIST, 512x512 crossbars)")
-	train, _ := sei.SyntheticSplit(600, 1, 1)
+	train, test := sei.SyntheticSplit(600, 60, 1)
 
+	var q2 *sei.QuantizedNet // kept for the measured-energy section
 	for id := 1; id <= 3; id++ {
 		// Geometry is what matters here, so a short training run is
 		// enough to build the quantized network.
@@ -26,6 +63,9 @@ func main() {
 		q, err := sei.Quantize(net, train)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if id == 2 {
+			q2 = q
 		}
 		costs, err := sei.MapCosts(q, 512)
 		if err != nil {
@@ -46,4 +86,6 @@ func main() {
 	}
 	fmt.Println("\nThe DAC+ADC interfaces dominate the baseline (Fig. 1); SEI replaces")
 	fmt.Println("them with sense amplifiers and saves >93% energy (Table 5).")
+
+	measuredEnergy(q2, train, test)
 }

@@ -1,4 +1,11 @@
-package main
+// Package benchparse parses `go test -bench` text output into a
+// machine-readable report: one entry per benchmark line with every
+// value/unit pair (ns/op, B/op, allocs/op, custom b.ReportMetric units
+// such as images/sec), the goos/goarch/pkg/cpu header, and derived
+// cross-benchmark ratios for the repo's known baseline/optimized
+// pairs. It is shared by cmd/benchjson (the BENCH_PR*.json converter)
+// and cmd/seibench (the benchmark front door).
+package benchparse
 
 import (
 	"bufio"

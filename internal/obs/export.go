@@ -40,6 +40,13 @@ type HistogramReport struct {
 	Sum         float64   `json:"sum"`
 }
 
+// Quantile estimates the q-th quantile from the snapshotted buckets
+// with the same deterministic interpolation as Histogram.Quantile, so
+// quantiles can be re-derived from persisted JSON run reports.
+func (h HistogramReport) Quantile(q float64) float64 {
+	return quantile(h.UpperBounds, h.Counts, q)
+}
+
 // Report snapshots the recorder. Unended spans report their wall time
 // so far.
 func (r *Recorder) Report(name string) Report {

@@ -7,6 +7,20 @@ import (
 	"sync/atomic"
 )
 
+// LatencyBounds returns the default latency bucket upper bounds in
+// seconds: 50 µs growing by 25 % per bucket up to one minute (~63
+// buckets), fine enough that interpolated p50/p99/p999 land within a
+// bucket ratio of the exact order statistics. Shared by the serving
+// request histogram and the internal/load generator so client- and
+// server-side latency distributions are directly comparable.
+func LatencyBounds() []float64 {
+	var b []float64
+	for v := 50e-6; v < 60; v *= 1.25 {
+		b = append(b, v)
+	}
+	return b
+}
+
 // Histogram is a fixed-boundary distribution of observed values.
 // Bucket counts are atomic integers: observations from parallel chunk
 // bodies commute, so bucket totals are identical for every worker
@@ -75,6 +89,73 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.sum.value()
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the observed
+// distribution, estimated by linear interpolation inside the bucket
+// holding the target rank — the same estimator Prometheus's
+// histogram_quantile applies server-side, computed here from the exact
+// bucket counts so every caller (load generator, bench reports, tests)
+// gets one deterministic number. Values in the +Inf bucket clamp to
+// the largest finite bound. Returns NaN for an empty histogram or a q
+// outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	return quantile(h.bounds, h.Counts(), q)
+}
+
+// quantile is the shared bucket-interpolation estimator behind
+// Histogram.Quantile and HistogramReport.Quantile. counts has one
+// entry per bound plus the final +Inf bucket.
+func quantile(bounds []float64, counts []int64, q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 || len(counts) == 0 {
+		return math.NaN()
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cumPrev float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum := cumPrev + float64(c)
+		if cum >= rank {
+			if i >= len(bounds) {
+				// +Inf bucket: clamp to the largest finite bound (0 when
+				// every bound is +Inf-bucketed away).
+				if len(bounds) == 0 {
+					return 0
+				}
+				return bounds[len(bounds)-1]
+			}
+			hi := bounds[i]
+			lo := 0.0
+			switch {
+			case i > 0:
+				lo = bounds[i-1]
+			case hi <= 0:
+				// Unknowable lower edge of a non-positive first bucket:
+				// report the bound itself, as histogram_quantile does.
+				return hi
+			}
+			frac := (rank - cumPrev) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cumPrev = cum
+	}
+	// Unreachable: the cumulative count reaches total ≥ rank.
+	return math.NaN()
 }
 
 // atomicFloat is a float64 accumulated with a CAS loop. Addition of

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quantHist builds a histogram with bounds {1,2,4,8} and the given
+// per-bucket counts (last entry = +Inf bucket) by observing bucket
+// midpoints.
+func quantHist(t *testing.T, counts []int64) *Histogram {
+	t.Helper()
+	r := New()
+	h := r.Histogram("q", []float64{1, 2, 4, 8})
+	values := []float64{0.5, 1.5, 3, 6, 16} // one representative per bucket
+	for i, c := range counts {
+		for j := int64(0); j < c; j++ {
+			h.Observe(values[i])
+		}
+	}
+	return h
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// 10 observations uniformly in (1,2]: quantiles interpolate
+	// linearly across that bucket.
+	h := quantHist(t, []int64{0, 10, 0, 0, 0})
+	cases := []struct{ q, want float64 }{
+		{0, 1},     // lower edge of the only populated bucket
+		{0.5, 1.5}, // midpoint
+		{0.99, 1.99},
+		{1, 2}, // upper bound
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 50 in (0,1], 30 in (1,2], 15 in (2,4], 5 in (4,8].
+	h := quantHist(t, []int64{50, 30, 15, 5, 0})
+	cases := []struct{ q, want float64 }{
+		{0.25, 0.5},              // rank 25 of 50 in the first bucket (lo 0)
+		{0.5, 1},                 // rank 50 = exactly the first bucket's upper bound
+		{0.8, 2},                 // rank 80 = cumulative edge of second bucket
+		{0.9, 2 + 2*(10.0/15.0)}, // rank 90, 10 into the 15-count (2,4] bucket
+		{0.99, 4 + 4*(4.0/5.0)},  // rank 99, 4 into the 5-count (4,8] bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInfBucketClampsToLargestBound(t *testing.T) {
+	h := quantHist(t, []int64{0, 0, 0, 0, 7})
+	if got := h.Quantile(0.99); got != 8 {
+		t.Errorf("Quantile in +Inf bucket = %g, want clamp to 8", got)
+	}
+}
+
+func TestQuantileEmptyAndInvalid(t *testing.T) {
+	h := quantHist(t, []int64{0, 0, 0, 0, 0})
+	for _, q := range []float64{0.5, -0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%g) on empty/invalid = %g, want NaN", q, got)
+		}
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram Quantile should be NaN")
+	}
+}
+
+func TestQuantileSkipsEmptyLeadingBuckets(t *testing.T) {
+	h := quantHist(t, []int64{0, 0, 4, 0, 0})
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %g, want lower edge 2 of first populated bucket", got)
+	}
+}
+
+func TestReportQuantileRoundTrips(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", LatencyBounds())
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001 + float64(i%97)*0.0001)
+	}
+	hr := r.Report("").Histograms["lat"]
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		live, snap := h.Quantile(q), hr.Quantile(q)
+		if live != snap {
+			t.Errorf("q=%g: live %g != snapshot %g", q, live, snap)
+		}
+		if snap <= 0 || snap > 60 {
+			t.Errorf("q=%g: quantile %g outside latency range", q, snap)
+		}
+	}
+}
+
+func TestLatencyBoundsAscendingAndCoverServingRange(t *testing.T) {
+	b := LatencyBounds()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	if b[0] > 100e-6 {
+		t.Errorf("first bound %g too coarse for µs-scale latencies", b[0])
+	}
+	if last := b[len(b)-1]; last < 30 {
+		t.Errorf("last bound %g does not cover timeout-scale latencies", last)
+	}
+}
+
+// TestWritePrometheusHistogramIsStandardCumulative pins the standard
+// exposition shape /metrics scrapers rely on: monotone non-decreasing
+// _bucket{le} series ending in an le="+Inf" bucket equal to _count,
+// plus _sum and _count lines.
+func TestWritePrometheusHistogramIsStandardCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 2} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	var (
+		buckets []int64
+		infSeen bool
+		sumSeen bool
+		count   int64 = -1
+		lastCum int64
+	)
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "sei_lat_bucket{"):
+			fields := strings.Fields(line)
+			n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if n < lastCum {
+				t.Errorf("bucket series not cumulative: %q after %d", line, lastCum)
+			}
+			lastCum = n
+			buckets = append(buckets, n)
+			if strings.Contains(line, `le="+Inf"`) {
+				infSeen = true
+			}
+		case strings.HasPrefix(line, "sei_lat_sum"):
+			sumSeen = true
+		case strings.HasPrefix(line, "sei_lat_count"):
+			fields := strings.Fields(line)
+			n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("count value in %q: %v", line, err)
+			}
+			count = n
+		}
+	}
+	if len(buckets) != 4 {
+		t.Fatalf("emitted %d bucket lines, want 4 (3 bounds + +Inf)", len(buckets))
+	}
+	if !infSeen || !sumSeen {
+		t.Fatalf("missing le=\"+Inf\" bucket (%v) or _sum line (%v)", infSeen, sumSeen)
+	}
+	if count != 5 || buckets[len(buckets)-1] != count {
+		t.Errorf("count = %d, final cumulative bucket = %d, want both 5", count, buckets[len(buckets)-1])
+	}
+}

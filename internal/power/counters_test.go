@@ -1,0 +1,109 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"sei/internal/obs"
+)
+
+// counterReport builds a report with the given hw counter totals.
+func counterReport(mvm, sa, cols, active, orpool int64) obs.Report {
+	return obs.Report{
+		Name: "test",
+		Counters: map[string]int64{
+			obs.HWMVMOps:            mvm,
+			obs.HWSAComparisons:     sa,
+			obs.HWColumnActivations: cols,
+			obs.HWActiveInputs:      active,
+			obs.HWORPoolReductions:  orpool,
+		},
+	}
+}
+
+func TestCountsFromReportUniformColumns(t *testing.T) {
+	// 10 block evals, 16 columns each, 50 active lines per eval.
+	rep := counterReport(10, 160, 160, 500, 40)
+	c, err := CountsFromReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SAEvaluations != 160 {
+		t.Errorf("SAEvaluations = %d, want 160", c.SAEvaluations)
+	}
+	if c.RowDrives != 500 {
+		t.Errorf("RowDrives = %d, want 500", c.RowDrives)
+	}
+	// Exact with uniform 16-column blocks: 4 cells × 500 lines × 16.
+	if want := int64(CellsPerWeight * 500 * 16); c.CellReads != want {
+		t.Errorf("CellReads = %d, want %d", c.CellReads, want)
+	}
+	if c.Adds != 40 {
+		t.Errorf("Adds = %d, want 40", c.Adds)
+	}
+	if c.BufferBytes != 0 || c.DRAMBytes != 0 {
+		t.Errorf("buffer/DRAM = %d/%d, want 0 (not counter-derivable)", c.BufferBytes, c.DRAMBytes)
+	}
+}
+
+func TestCountsFromReportUninstrumented(t *testing.T) {
+	if _, err := CountsFromReport(obs.Report{Name: "empty", Counters: map[string]int64{}}); err == nil {
+		t.Fatal("want error for a report without hw counters")
+	}
+}
+
+func TestEnergyFromCountersBreakdown(t *testing.T) {
+	lib := DefaultLibrary()
+	rep := counterReport(10, 160, 160, 500, 40)
+	b, err := EnergyFromCounters(rep, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 160 * lib.SAEnergyPJ; b.SA != want {
+		t.Errorf("SA = %g, want %g", b.SA, want)
+	}
+	if want := 500 * lib.DriverEnergyPJ; b.Driver != want {
+		t.Errorf("Driver = %g, want %g", b.Driver, want)
+	}
+	if want := float64(CellsPerWeight*500*16) * lib.CellReadEnergyPJ; b.RRAM != want {
+		t.Errorf("RRAM = %g, want %g", b.RRAM, want)
+	}
+	if want := 40 * lib.AddEnergyPJ; b.Digital != want {
+		t.Errorf("Digital = %g, want %g", b.Digital, want)
+	}
+	// SEI replaces the interfaces: no DAC/ADC events can come from the
+	// counter stream.
+	if b.DAC != 0 || b.ADC != 0 {
+		t.Errorf("DAC/ADC = %g/%g, want 0", b.DAC, b.ADC)
+	}
+	if b.Total() <= 0 {
+		t.Errorf("total = %g, want > 0", b.Total())
+	}
+}
+
+func TestEnergyFromCountersRejectsBadLibrary(t *testing.T) {
+	lib := DefaultLibrary()
+	lib.SAEnergyPJ = -1
+	if _, err := EnergyFromCounters(counterReport(1, 1, 1, 1, 1), lib); err == nil {
+		t.Fatal("want validation error for non-physical library")
+	}
+}
+
+func TestEnergyPerInferencePJ(t *testing.T) {
+	lib := DefaultLibrary()
+	rep := counterReport(10, 160, 160, 500, 40)
+	whole, err := EnergyFromCounters(rep, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := EnergyPerInferencePJ(rep, lib, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := whole.Total() / 20; math.Abs(per-want) > 1e-9 {
+		t.Errorf("per-inference = %g, want %g", per, want)
+	}
+	if _, err := EnergyPerInferencePJ(rep, lib, 0); err == nil {
+		t.Fatal("want error for zero images")
+	}
+}

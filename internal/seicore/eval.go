@@ -185,7 +185,12 @@ func BuildSEI(q *quant.QuantizedNet, train *mnist.Dataset, cfg SEIBuildConfig, r
 
 // Instrument routes the design's hardware-event counters to rec; nil
 // detaches. Evaluation clones made later share the counters (struct
-// copies keep the pointer; the counters are atomic).
+// copies keep the pointer; the counters are atomic). The embedded
+// quantized net is instrumented too: the OR-pool reductions of the
+// binarized data path are recorded through it (CountORPool), so a
+// design instrumented after the fact — a loaded snapshot, or
+// EvaluateDesignObs on a net quantized without a recorder — reports
+// the same counter set as one built inside an instrumented pipeline.
 func (d *SEIDesign) Instrument(rec *obs.Recorder) {
 	hw := rec.HW()
 	d.Input.hw = hw
@@ -193,6 +198,9 @@ func (d *SEIDesign) Instrument(rec *obs.Recorder) {
 		l.hw = hw
 	}
 	d.FC.hw = hw
+	if d.Q != nil {
+		d.Q.Instrument(rec)
+	}
 }
 
 // calibrate runs the Section-4.3 dynamic-threshold optimization for

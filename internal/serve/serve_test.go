@@ -540,6 +540,24 @@ func TestServeMetricsEndpoint(t *testing.T) {
 			t.Fatalf("/metrics missing %q:\n%s", metric, body)
 		}
 	}
+	// Per-request latency rides /metrics as a standard cumulative
+	// histogram, and the queue-depth gauge is sampled at scrape time.
+	for _, line := range []string{
+		"sei_" + MetricRequestSeconds + `_bucket{le="+Inf"} 1`,
+		"sei_" + MetricRequestSeconds + "_count 1",
+		"# TYPE sei_" + MetricQueueDepth + " gauge",
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("/metrics missing %q:\n%s", line, body)
+		}
+	}
+	hist := rec.Report("").Histograms[MetricRequestSeconds]
+	if hist.Count != 1 {
+		t.Fatalf("request latency histogram count = %d, want 1", hist.Count)
+	}
+	if p99 := hist.Quantile(0.99); p99 <= 0 {
+		t.Errorf("p99 = %g, want > 0", p99)
+	}
 }
 
 func TestRegistryRejectsUnsafeNames(t *testing.T) {

@@ -29,6 +29,21 @@ const (
 // middleware (500 to the client, process stays up).
 const MetricHTTPPanics = "serve_http_panics"
 
+// MetricRequestSeconds is the end-to-end predict latency histogram:
+// request decode through batcher queue wait, engine evaluation and
+// response encode, observed once per POST /v1/predict (including
+// rejected and failed requests — backpressure latency is part of the
+// distribution). Buckets are obs.LatencyBounds(); /metrics exposes it
+// as a standard cumulative Prometheus histogram, and seibench derives
+// serve p50/p99/p999 from the same bounds client-side.
+const MetricRequestSeconds = "serve_request_seconds"
+
+// MetricQueueDepth is the batcher's pending-predict gauge, sampled at
+// scrape/health time (the queue drains in microseconds, so a sampled
+// gauge is the honest representation — a per-event gauge would only
+// ever show the scraper its own flush).
+const MetricQueueDepth = "serve_queue_depth"
+
 // Options wires a handler together.
 type Options struct {
 	Registry *Registry
@@ -133,6 +148,11 @@ func statusFor(err error) int {
 }
 
 func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		s.opts.Obs.Histogram(MetricRequestSeconds, obs.LatencyBounds()).
+			Observe(time.Since(start).Seconds())
+	}()
 	var req predictRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -219,6 +239,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if s.opts.Obs != nil {
+		// Sample the queue depth at scrape time so the gauge reflects
+		// standing backlog rather than the scraper's own flush cycle.
+		s.opts.Obs.Gauge(MetricQueueDepth).Set(float64(s.opts.Batcher.QueueDepth()))
 		s.opts.Obs.WritePrometheus(w)
 	}
 }

@@ -67,6 +67,12 @@ type (
 	// reports; attach one via PipelineConfig.Obs or
 	// ExperimentConfig.Obs. A nil Recorder disables all recording.
 	Recorder = obs.Recorder
+	// RunReport is one run's instrumentation snapshot
+	// (Recorder.Report): spans, counters, gauges, histograms.
+	RunReport = obs.Report
+	// EnergyBreakdown groups energy (pJ) or area (µm²) by component
+	// class — the grouping of the paper's Fig. 1.
+	EnergyBreakdown = power.Breakdown
 )
 
 // NewRecorder returns an empty instrumentation recorder whose clock
@@ -210,6 +216,43 @@ type PredictResult = nn.PredictResult
 // EvaluateDesign returns any classifier's test error rate.
 func EvaluateDesign(d Classifier, test *Dataset) float64 {
 	return nn.ClassifierErrorRate(d, test)
+}
+
+// EvaluateDesignObs is EvaluateDesign with instrumentation: engine
+// scheduling counters, the eval_images counter and — for hardware
+// designs — the hw_* hardware-event counters feed rec (nil = off),
+// ready for counter-derived energy accounting via EnergyFromCounters.
+// Designs that support it (SEIDesign and the merged/float references)
+// are re-instrumented onto rec for the evaluation and stay attached
+// afterwards, exactly as if they had been built with that recorder.
+func EvaluateDesignObs(rec *Recorder, d Classifier, test *Dataset, workers int) float64 {
+	if rec != nil {
+		if ins, ok := d.(interface{ Instrument(*obs.Recorder) }); ok {
+			ins.Instrument(rec)
+		}
+	}
+	return nn.ClassifierErrorRateObs(rec, d, test, workers)
+}
+
+// DefaultPowerLibrary returns the calibrated component energy/area
+// constants behind Fig. 1 and Table 5 (see internal/power).
+func DefaultPowerLibrary() PowerLibrary { return power.DefaultLibrary() }
+
+// EnergyFromCounters joins an instrumented run's hardware-event
+// counter totals (hw_sa_comparisons, hw_active_inputs,
+// hw_column_activations, …) against the power library's component
+// constants: the measured, data-dependent counterpart of MapCosts's
+// static accounting. The breakdown covers the whole run; divide by
+// the image count (EnergyPerInferencePJ) for a per-picture figure.
+func EnergyFromCounters(rep RunReport, lib PowerLibrary) (EnergyBreakdown, error) {
+	return power.EnergyFromCounters(rep, lib)
+}
+
+// EnergyPerInferencePJ returns the counter-derived energy of one
+// inference in picojoules: the run total from EnergyFromCounters
+// divided by the run's eval_images counter.
+func EnergyPerInferencePJ(rep RunReport, lib PowerLibrary) (float64, error) {
+	return power.EnergyPerInferencePJ(rep, lib, rep.Counters[nn.MetricEvalImages])
 }
 
 // Predict classifies one image, validating it first and containing any
