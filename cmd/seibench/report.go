@@ -42,13 +42,32 @@ func (m Machine) Comparable(o Machine) bool {
 }
 
 // ServeResult is the serving suite's section of a report: the
-// open-loop generator's client-side view.
+// open-loop generator's client-side view of the sharded serving stack.
+// The steady run drives a deterministic multi-image request mix; Burst
+// repeats a shorter schedule with clustered arrivals.
 type ServeResult struct {
 	OfferedRPS  float64             `json:"offered_rps"`
 	AchievedRPS float64             `json:"achieved_rps"`
 	Requests    int                 `json:"requests"`
 	Errors      int                 `json:"errors"`
 	Dropped     int                 `json:"dropped"`
+	Canceled    int                 `json:"canceled,omitempty"`
+	Images      int                 `json:"images,omitempty"`
+	Mix         map[string]int      `json:"mix,omitempty"`
+	Latency     obs.HistogramReport `json:"latency"`
+	Burst       *BurstResult        `json:"burst,omitempty"`
+}
+
+// BurstResult is the burst sub-run: the same stack under clustered
+// arrivals (load.Config.Burst), the worst case for queue headroom.
+type BurstResult struct {
+	BurstSize   int                 `json:"burst_size"`
+	OfferedRPS  float64             `json:"offered_rps"`
+	AchievedRPS float64             `json:"achieved_rps"`
+	Requests    int                 `json:"requests"`
+	Errors      int                 `json:"errors"`
+	Dropped     int                 `json:"dropped"`
+	Canceled    int                 `json:"canceled,omitempty"`
 	Latency     obs.HistogramReport `json:"latency"`
 }
 

@@ -139,16 +139,36 @@ func buildPipeline(cfg runConfig, stderr io.Writer) (*pipeline, error) {
 	return &pipeline{design: d, test: test}, nil
 }
 
-// runServeSuite stands up the real HTTP stack (registry → batcher →
-// handler) in-process and drives it with the open-loop generator:
-// single-image POST /v1/predict requests on a seeded Poisson schedule,
-// client-side latency quantiles from the same histogram buckets the
-// server exports.
+// serveMixSizes are the multi-image request shapes the steady serve
+// run cycles through: mostly single-image requests, a steady trickle
+// of 8-image batches and an occasional 64-image batch (one full
+// engine micro-batch in a single request).
+var serveMixSizes = []int{1, 8, 64}
+
+// mixSizeFor picks request i's image count deterministically: every
+// 20th request carries 64 images, every 5th (otherwise) carries 8.
+func mixSizeFor(i int) int {
+	switch {
+	case i%20 == 19:
+		return 64
+	case i%5 == 4:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// runServeSuite stands up the real sharded HTTP stack (registry →
+// per-design batcher pool → handler) in-process and drives it with the
+// open-loop generator twice: a steady Poisson run with a deterministic
+// multi-image request mix, and a shorter burst run (clustered
+// arrivals) against the same stack. Client-side latency quantiles come
+// from the same histogram buckets the server exports.
 func runServeSuite(cfg runConfig, p *pipeline, stderr io.Writer) (*ServeResult, error) {
 	rec := obs.New()
 	reg := serve.NewRegistry("", cfg.Seed)
 	reg.Register("bench", p.design)
-	b, err := serve.NewBatcher(serve.BatcherConfig{
+	pool, err := serve.NewPool(serve.BatcherConfig{
 		MaxBatch: 64,
 		MaxDelay: 2 * time.Millisecond,
 		QueueCap: 256,
@@ -157,16 +177,45 @@ func runServeSuite(cfg runConfig, p *pipeline, stderr io.Writer) (*ServeResult, 
 	if err != nil {
 		return nil, err
 	}
-	defer b.Close()
-	ts := httptest.NewServer(serve.NewHandler(serve.Options{Registry: reg, Batcher: b, Obs: rec}))
+	defer pool.Close()
+	ts := httptest.NewServer(serve.NewHandler(serve.Options{Registry: reg, Pool: pool, Obs: rec}))
 	defer ts.Close()
 
-	img := p.test.Images[0].Data()
-	body, err := json.Marshal(map[string]any{"design": "bench", "images": [][]float64{img}})
-	if err != nil {
-		return nil, err
+	// Pre-marshal one body per mix size; images cycle through the test
+	// split so batches are not 64 copies of one input.
+	bodies := map[int][]byte{}
+	for _, n := range serveMixSizes {
+		imgs := make([][]float64, n)
+		for k := range imgs {
+			imgs[k] = p.test.Images[k%len(p.test.Images)].Data()
+		}
+		b, err := json.Marshal(map[string]any{"design": "bench", "images": imgs})
+		if err != nil {
+			return nil, err
+		}
+		bodies[n] = b
 	}
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	post := func(ctx context.Context, body []byte) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
 	lcfg := load.Config{
 		Rate:     cfg.Rate,
 		Requests: cfg.Requests,
@@ -185,37 +234,63 @@ func runServeSuite(cfg runConfig, p *pipeline, stderr io.Writer) (*ServeResult, 
 			lcfg.Requests = 300
 		}
 	}
-	fmt.Fprintf(stderr, "seibench: serve suite — %d requests at %.0f/s (open loop)\n", lcfg.Requests, lcfg.Rate)
-	res, err := load.Run(context.Background(), lcfg, func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/predict", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-			return err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("status %d", resp.StatusCode)
-		}
-		return nil
+	fmt.Fprintf(stderr, "seibench: serve suite — %d mixed requests at %.0f/s (open loop)\n", lcfg.Requests, lcfg.Rate)
+	mix := map[string]int{}
+	images := 0
+	for i := 0; i < lcfg.Requests; i++ {
+		n := mixSizeFor(i)
+		mix[fmt.Sprintf("%d-image", n)]++
+		images += n
+	}
+	res, err := load.Run(context.Background(), lcfg, func(ctx context.Context, i int) error {
+		return post(ctx, bodies[mixSizeFor(i)])
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &ServeResult{
+	sr := &ServeResult{
 		OfferedRPS:  res.OfferedRate,
 		AchievedRPS: res.AchievedRate,
 		Requests:    res.Sent,
 		Errors:      res.Errors,
 		Dropped:     res.Dropped,
+		Canceled:    res.Canceled,
+		Images:      images,
+		Mix:         mix,
 		Latency:     res.Latency,
-	}, nil
+	}
+
+	// Burst run: same rate, clustered arrivals — 16 single-image
+	// requests land back to back at every schedule point, the worst
+	// case for per-design queue headroom.
+	bcfg := load.Config{
+		Rate:     lcfg.Rate,
+		Requests: lcfg.Requests / 3,
+		Seed:     lcfg.Seed + 1,
+		Timeout:  10 * time.Second,
+		Burst:    16,
+	}
+	if bcfg.Requests < 16 {
+		bcfg.Requests = 16
+	}
+	fmt.Fprintf(stderr, "seibench: serve suite — %d burst-16 requests at %.0f/s\n", bcfg.Requests, bcfg.Rate)
+	bres, err := load.Run(context.Background(), bcfg, func(ctx context.Context, _ int) error {
+		return post(ctx, bodies[1])
+	})
+	if err != nil {
+		return nil, err
+	}
+	sr.Burst = &BurstResult{
+		BurstSize:   bcfg.Burst,
+		OfferedRPS:  bres.OfferedRate,
+		AchievedRPS: bres.AchievedRate,
+		Requests:    bres.Sent,
+		Errors:      bres.Errors,
+		Dropped:     bres.Dropped,
+		Canceled:    bres.Canceled,
+		Latency:     bres.Latency,
+	}
+	return sr, nil
 }
 
 // runEnergySuite evaluates the fixture design with hardware counters
@@ -301,9 +376,13 @@ func runAll(cfg runConfig, now time.Time, stderr io.Writer) (*Report, error) {
 			rep.Metrics["serve_p99_ms"] = sr.Latency.Quantile(0.99) * 1000
 			rep.Metrics["serve_p999_ms"] = sr.Latency.Quantile(0.999) * 1000
 			rep.Metrics["serve_achieved_rps"] = sr.AchievedRPS
-			if sr.Errors > 0 || sr.Dropped > 0 {
+			if sr.Burst != nil {
+				rep.Metrics["serve_burst_p99_ms"] = sr.Burst.Latency.Quantile(0.99) * 1000
+			}
+			if sr.Errors > 0 || sr.Dropped > 0 || sr.Canceled > 0 {
 				rep.Notes = append(rep.Notes,
-					fmt.Sprintf("serve suite: %d errors, %d dropped of %d requests", sr.Errors, sr.Dropped, sr.Requests+sr.Dropped))
+					fmt.Sprintf("serve suite: %d errors, %d dropped, %d canceled of %d requests",
+						sr.Errors, sr.Dropped, sr.Canceled, sr.Requests+sr.Dropped+sr.Canceled))
 			}
 		}
 		if cfg.Suites["energy"] {

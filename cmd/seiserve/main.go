@@ -1,8 +1,9 @@
 // Command seiserve is the batched inference service: it loads SEI
-// design snapshots (sei.SaveDesignFile) into a registry and answers
-// HTTP predicts, coalescing concurrent requests into micro-batches on
-// the deterministic parallel engine. Served labels are bit-identical
-// to the offline sei.EvaluateDesign / sei.PredictBatch paths.
+// design snapshots (sei.SaveDesignFile) into a sharded registry and
+// answers HTTP predicts, coalescing concurrent requests into
+// per-design micro-batches on the deterministic parallel engine.
+// Served labels are bit-identical to the offline sei.EvaluateDesign /
+// sei.PredictBatch paths per design generation.
 //
 // Usage:
 //
@@ -10,15 +11,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/predict  {"design":"<name>","images":[[784 pixels]...]}
-//	GET  /v1/designs  resolvable design names
-//	GET  /healthz     liveness and drain state
-//	GET  /metrics     Prometheus counters and batch-size histogram
+//	POST /v1/predict          {"design":"<name>","images":[[784 pixels]...]}
+//	                          (?generation=N pins one live generation)
+//	GET  /v1/designs          resolvable design names + live generations
+//	POST /v1/admin/reload     swap a design to a fresh generation from disk
+//	                          (?design=, ?canary=W for a weighted split)
+//	POST /v1/admin/canary     adjust/promote/rollback a canary split
+//	POST /v1/admin/unregister retire a design, tear down its queue
+//	GET  /healthz             liveness and drain state
+//	GET  /metrics             Prometheus counters and histograms
 //
-// Robustness: malformed requests answer 4xx, a full queue answers 429
-// instead of buffering unboundedly, per-image library panics are
-// contained into per-image errors, and SIGTERM/SIGINT drains in-flight
-// requests before exiting (bounded by -drain).
+// Robustness: malformed requests answer 4xx, a full per-design queue
+// answers 429 without touching other designs' queues, requests whose
+// deadline is below the observed flush latency are shed at admission
+// (429), per-image library panics are contained into per-image errors,
+// SIGHUP reloads every disk-backed design as a new generation while
+// in-flight batches drain on the old one, and SIGTERM/SIGINT drains
+// in-flight requests before exiting (bounded by -drain).
 package main
 
 import (
@@ -98,8 +107,10 @@ func buildDemo(seed int64) nn.Classifier {
 }
 
 // run starts the service and blocks until SIGTERM/SIGINT (clean drain,
-// nil) or a server failure. ready, when non-nil, is called with the
-// bound listen address once the service accepts connections.
+// nil) or a server failure. SIGHUP reloads every disk-backed design as
+// a fresh full-swap generation without interrupting traffic. ready,
+// when non-nil, is called with the bound listen address once the
+// service accepts connections.
 func run(opt *options, stdout io.Writer, ready func(addr string)) error {
 	rec := obs.New()
 	reg := serve.NewRegistry(opt.designs, opt.seed)
@@ -107,7 +118,7 @@ func run(opt *options, stdout io.Writer, ready func(addr string)) error {
 		fmt.Fprintln(stdout, "seiserve: training demo classifier")
 		reg.Register("demo", buildDemo(opt.seed))
 	}
-	b, err := serve.NewBatcher(serve.BatcherConfig{
+	pool, err := serve.NewPool(serve.BatcherConfig{
 		MaxBatch: opt.maxBatch,
 		MaxDelay: opt.maxDelay,
 		QueueCap: opt.queueCap,
@@ -119,35 +130,49 @@ func run(opt *options, stdout io.Writer, ready func(addr string)) error {
 	}
 	srv := &http.Server{Handler: serve.NewHandler(serve.Options{
 		Registry: reg,
-		Batcher:  b,
+		Pool:     pool,
 		Obs:      rec,
 		Timeout:  opt.timeout,
 	})}
 	ln, err := net.Listen("tcp", opt.addr)
 	if err != nil {
-		b.Close()
+		pool.Close()
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	fmt.Fprintf(stdout, "seiserve: listening on %s (designs: %v)\n", ln.Addr(), reg.Names())
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
-	select {
-	case err := <-errc:
-		b.Close()
-		return err
-	case <-ctx.Done():
+serving:
+	for {
+		select {
+		case err := <-errc:
+			pool.Close()
+			return err
+		case <-hup:
+			reloaded, err := reg.ReloadAll()
+			if err != nil {
+				fmt.Fprintf(stdout, "seiserve: SIGHUP reload: %v\n", err)
+			}
+			rec.Counter(serve.MetricReloads).Add(int64(len(reloaded)))
+			fmt.Fprintf(stdout, "seiserve: SIGHUP reloaded %v\n", reloaded)
+		case <-ctx.Done():
+			break serving
+		}
 	}
 	stop() // restore default signal handling: a second SIGTERM kills
 	fmt.Fprintln(stdout, "seiserve: draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), opt.drain)
 	defer cancel()
 	err = srv.Shutdown(drainCtx) // in-flight handlers finish first,
-	b.Close()                    // then the queued predicts drain
+	pool.Close()                 // then the queued predicts drain
 	if err != nil {
 		return fmt.Errorf("seiserve: drain: %w", err)
 	}

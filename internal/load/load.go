@@ -6,8 +6,8 @@
 // (request → wait → request) driver grants it. The schedule itself is
 // drawn from a seeded RNG — exponential inter-arrival gaps at the
 // configured rate, i.e. a Poisson process — so the *offered load* of a
-// run is a pure function of (Rate, Requests, Seed) and two runs with
-// the same config stress the server with the same timeline.
+// run is a pure function of (Rate, Requests, Burst, Seed) and two runs
+// with the same config stress the server with the same timeline.
 //
 // Latency is recorded into an obs.Histogram (obs.LatencyBounds()
 // buckets, matching the server-side serve_request_seconds histogram)
@@ -28,6 +28,11 @@ import (
 	"sei/internal/obs"
 )
 
+// latencyBounds is obs.LatencyBounds() computed once — Run resolves
+// its histogram against this shared slice instead of rebuilding the
+// ~63-element bound list per run.
+var latencyBounds = obs.LatencyBounds()
+
 // Config sizes one load run.
 type Config struct {
 	// Rate is the offered load in requests per second (must be > 0).
@@ -47,6 +52,11 @@ type Config struct {
 	// schedule never slips; dropping preserves open-loop semantics
 	// while bounding client resources).
 	MaxInFlight int
+	// Burst clusters arrivals: each Poisson schedule point fires Burst
+	// requests back to back instead of one, with inter-point gaps
+	// drawn at Rate/Burst so the aggregate offered rate stays Rate.
+	// 0 or 1 means smooth Poisson arrivals.
+	Burst int
 }
 
 // Validate rejects unusable configs.
@@ -60,19 +70,26 @@ func (c Config) Validate() error {
 	if c.MaxInFlight < 0 {
 		return fmt.Errorf("load: max in-flight %d must be non-negative", c.MaxInFlight)
 	}
+	if c.Burst < 0 {
+		return fmt.Errorf("load: burst %d must be non-negative", c.Burst)
+	}
 	return nil
 }
 
 // Result summarizes one run.
 type Result struct {
-	// Sent counts requests actually issued; Errors those whose do
-	// returned non-nil; Dropped arrivals skipped by the MaxInFlight
-	// cap or a canceled run context.
-	Sent, Errors, Dropped int
+	// Sent counts requests actually issued, stamped at issue time (the
+	// moment the request goroutine launches, not at completion — an
+	// in-flight tail is still "sent"). Errors counts issued requests
+	// whose do returned non-nil. Dropped counts arrivals shed by the
+	// MaxInFlight cap; Canceled counts arrivals skipped because the
+	// run context ended. Sent + Dropped + Canceled == Requests.
+	Sent, Errors, Dropped, Canceled int
 	// Elapsed is first arrival to last completion.
 	Elapsed time.Duration
-	// OfferedRate is the configured rate; AchievedRate is
-	// Sent/Elapsed.
+	// OfferedRate is the configured rate; AchievedRate is successful
+	// completions (Sent - Errors) per second of Elapsed — errored
+	// requests don't count as achieved throughput.
 	OfferedRate, AchievedRate float64
 	// P50, P99, P999 are interpolated latency quantiles in seconds
 	// over successful requests.
@@ -86,25 +103,37 @@ type Result struct {
 }
 
 // Schedule returns the deterministic arrival offsets for cfg: Requests
-// exponential inter-arrival gaps at Rate, from the seeded RNG. The
-// first arrival is at offset 0 so short runs are not all warm-up gap.
+// offsets grouped into bursts of cfg.Burst (1 when unset) at Poisson
+// schedule points, exponential inter-point gaps at Rate/Burst from the
+// seeded RNG. The first arrival is at offset 0 so short runs are not
+// all warm-up gap.
 func Schedule(cfg Config) []time.Duration {
+	burst := cfg.Burst
+	if burst < 1 {
+		burst = 1
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	pointRate := cfg.Rate / float64(burst)
 	offsets := make([]time.Duration, cfg.Requests)
 	t := 0.0
-	for i := range offsets {
-		offsets[i] = time.Duration(t * float64(time.Second))
-		t += rng.ExpFloat64() / cfg.Rate
+	for i := 0; i < len(offsets); i += burst {
+		point := time.Duration(t * float64(time.Second))
+		for k := i; k < i+burst && k < len(offsets); k++ {
+			offsets[k] = point
+		}
+		t += rng.ExpFloat64() / pointRate
 	}
 	return offsets
 }
 
 // Run drives do through cfg's arrival schedule and collects latency.
 // do must be safe for concurrent use; it receives a context carrying
-// the per-request timeout. Run returns once every issued request has
-// completed. Canceling ctx stops issuing new arrivals (counted as
-// dropped) and waits for the in-flight tail.
-func Run(ctx context.Context, cfg Config, do func(context.Context) error) (*Result, error) {
+// the per-request timeout plus the request's schedule index, so a
+// caller can vary the request shape deterministically (multi-image
+// mixes, per-design routing). Run returns once every issued request
+// has completed. Canceling ctx stops issuing new arrivals (counted as
+// Canceled) and waits for the in-flight tail.
+func Run(ctx context.Context, cfg Config, do func(ctx context.Context, i int) error) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -112,16 +141,15 @@ func Run(ctx context.Context, cfg Config, do func(context.Context) error) (*Resu
 		return nil, errors.New("load: nil request function")
 	}
 	rec := obs.New()
-	hist := rec.Histogram("load_latency_seconds", obs.LatencyBounds())
+	hist := rec.Histogram("load_latency_seconds", latencyBounds)
 	var (
 		wg       sync.WaitGroup
-		sent     atomic.Int64
 		failed   atomic.Int64
-		dropped  atomic.Int64
 		inFlight atomic.Int64
 	)
+	sent, dropped, canceled := 0, 0, 0
 	start := time.Now()
-	for _, off := range Schedule(cfg) {
+	for i, off := range Schedule(cfg) {
 		if d := time.Until(start.Add(off)); d > 0 {
 			select {
 			case <-time.After(d):
@@ -129,16 +157,20 @@ func Run(ctx context.Context, cfg Config, do func(context.Context) error) (*Resu
 			}
 		}
 		if ctx.Err() != nil {
-			dropped.Add(1)
+			canceled++
 			continue
 		}
 		if cfg.MaxInFlight > 0 && inFlight.Load() >= int64(cfg.MaxInFlight) {
-			dropped.Add(1)
+			dropped++
 			continue
 		}
+		// Issued: counted here, at launch, not at completion — "sent"
+		// must not understate offered pressure while a tail is still
+		// in flight.
+		sent++
 		inFlight.Add(1)
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			defer inFlight.Add(-1)
 			rctx := ctx
@@ -148,22 +180,22 @@ func Run(ctx context.Context, cfg Config, do func(context.Context) error) (*Resu
 				defer cancel()
 			}
 			t0 := time.Now()
-			err := do(rctx)
+			err := do(rctx, i)
 			lat := time.Since(t0).Seconds()
-			sent.Add(1)
 			if err != nil {
 				failed.Add(1)
 				return
 			}
 			hist.Observe(lat)
-		}()
+		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := &Result{
-		Sent:        int(sent.Load()),
+		Sent:        sent,
 		Errors:      int(failed.Load()),
-		Dropped:     int(dropped.Load()),
+		Dropped:     dropped,
+		Canceled:    canceled,
 		Elapsed:     elapsed,
 		OfferedRate: cfg.Rate,
 		P50:         hist.Quantile(0.5),
@@ -174,7 +206,7 @@ func Run(ctx context.Context, cfg Config, do func(context.Context) error) (*Resu
 		res.MeanLatency = hist.Sum() / float64(n)
 	}
 	if elapsed > 0 {
-		res.AchievedRate = float64(res.Sent) / elapsed.Seconds()
+		res.AchievedRate = float64(res.Sent-res.Errors) / elapsed.Seconds()
 	}
 	res.Latency = rec.Report("").Histograms["load_latency_seconds"]
 	return res, nil

@@ -39,17 +39,50 @@ func TestScheduleDeterministicAndOpenLoop(t *testing.T) {
 	}
 }
 
+func TestScheduleBurstClustersArrivals(t *testing.T) {
+	cfg := Config{Rate: 1000, Requests: 512, Seed: 7, Burst: 16}
+	a := Schedule(cfg)
+	if len(a) != 512 {
+		t.Fatalf("schedule length %d, want 512", len(a))
+	}
+	// Every 16-request group shares one schedule point; distinct groups
+	// get distinct points.
+	for i := 0; i < len(a); i += 16 {
+		for k := i; k < i+16; k++ {
+			if a[k] != a[i] {
+				t.Fatalf("burst member %d at %v, group point %v", k, a[k], a[i])
+			}
+		}
+		if i > 0 && a[i] == a[i-16] {
+			t.Fatalf("groups %d and %d share a schedule point", i/16-1, i/16)
+		}
+	}
+	// The aggregate offered rate stays ≈Rate: 512 requests at 1000/s
+	// span ≈0.5s regardless of burst size.
+	span := a[len(a)-1].Seconds()
+	if span < 0.2 || span > 1.2 {
+		t.Errorf("512 burst-16 arrivals at 1000/s span %.3fs, want ≈0.5s", span)
+	}
+	// A ragged tail (Requests not a multiple of Burst) still covers
+	// every request.
+	ragged := Schedule(Config{Rate: 1000, Requests: 50, Seed: 3, Burst: 16})
+	if len(ragged) != 50 {
+		t.Fatalf("ragged schedule length %d, want 50", len(ragged))
+	}
+}
+
 func TestRunRecordsLatencyQuantiles(t *testing.T) {
 	cfg := Config{Rate: 2000, Requests: 200, Seed: 1}
-	res, err := Run(context.Background(), cfg, func(context.Context) error {
+	res, err := Run(context.Background(), cfg, func(context.Context, int) error {
 		time.Sleep(time.Millisecond)
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Sent != 200 || res.Errors != 0 || res.Dropped != 0 {
-		t.Fatalf("sent/errors/dropped = %d/%d/%d, want 200/0/0", res.Sent, res.Errors, res.Dropped)
+	if res.Sent != 200 || res.Errors != 0 || res.Dropped != 0 || res.Canceled != 0 {
+		t.Fatalf("sent/errors/dropped/canceled = %d/%d/%d/%d, want 200/0/0/0",
+			res.Sent, res.Errors, res.Dropped, res.Canceled)
 	}
 	if res.Latency.Count != 200 {
 		t.Fatalf("latency histogram count = %d, want 200", res.Latency.Count)
@@ -74,10 +107,13 @@ func TestRunRecordsLatencyQuantiles(t *testing.T) {
 	}
 }
 
-func TestRunCountsErrors(t *testing.T) {
+// TestRunAchievedRateExcludesErrors is the regression test for the
+// AchievedRate accounting: only successful completions count as
+// achieved throughput, and Sent still counts every issued request.
+func TestRunAchievedRateExcludesErrors(t *testing.T) {
 	var n atomic.Int64
 	cfg := Config{Rate: 5000, Requests: 100, Seed: 2}
-	res, err := Run(context.Background(), cfg, func(context.Context) error {
+	res, err := Run(context.Background(), cfg, func(context.Context, int) error {
 		if n.Add(1)%2 == 0 {
 			return errors.New("boom")
 		}
@@ -92,6 +128,47 @@ func TestRunCountsErrors(t *testing.T) {
 	if res.Latency.Count != 50 {
 		t.Fatalf("histogram count = %d, want 50 (errors excluded)", res.Latency.Count)
 	}
+	want := float64(res.Sent-res.Errors) / res.Elapsed.Seconds()
+	if res.AchievedRate != want {
+		t.Fatalf("achieved rate %g, want successes/elapsed = %g", res.AchievedRate, want)
+	}
+	// Sanity: a 50%-error run must achieve roughly half its issue rate.
+	issueRate := float64(res.Sent) / res.Elapsed.Seconds()
+	if res.AchievedRate > 0.6*issueRate {
+		t.Errorf("achieved rate %g vs issue rate %g: errors not excluded", res.AchievedRate, issueRate)
+	}
+}
+
+// TestRunCountsSentAtIssueTime is the regression test for the Sent
+// accounting: requests still in flight are already "sent" — the doc
+// says "requests actually issued", not "completed".
+func TestRunCountsSentAtIssueTime(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	cfg := Config{Rate: 100000, Requests: 8, Seed: 5}
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := Run(context.Background(), cfg, func(context.Context, int) error {
+			started <- struct{}{}
+			<-release // every request is in flight, none completed
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	for i := 0; i < 8; i++ {
+		<-started // all 8 issued while all 8 are incomplete
+	}
+	close(release)
+	res := <-done
+	if res == nil {
+		t.Fatal("run failed")
+	}
+	if res.Sent != 8 || res.Errors != 0 {
+		t.Fatalf("sent/errors = %d/%d, want 8/0", res.Sent, res.Errors)
+	}
 }
 
 func TestRunMaxInFlightDropsInsteadOfDelaying(t *testing.T) {
@@ -99,7 +176,7 @@ func TestRunMaxInFlightDropsInsteadOfDelaying(t *testing.T) {
 	cfg := Config{Rate: 100000, Requests: 50, Seed: 3, MaxInFlight: 4}
 	done := make(chan *Result, 1)
 	go func() {
-		res, err := Run(context.Background(), cfg, func(context.Context) error {
+		res, err := Run(context.Background(), cfg, func(context.Context, int) error {
 			<-block
 			return nil
 		})
@@ -120,28 +197,55 @@ func TestRunMaxInFlightDropsInsteadOfDelaying(t *testing.T) {
 	if res.Dropped == 0 {
 		t.Error("expected drops with 4 in-flight slots against a blocked server")
 	}
+	if res.Canceled != 0 {
+		t.Errorf("canceled = %d, want 0 (nothing canceled the run)", res.Canceled)
+	}
 }
 
-func TestRunContextCancelDropsTail(t *testing.T) {
+// TestRunContextCancelCountsCanceledNotDropped pins the split between
+// the two shedding causes: a canceled run context must not masquerade
+// as MaxInFlight pressure.
+func TestRunContextCancelCountsCanceledNotDropped(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	var n atomic.Int64
-	cfg := Config{Rate: 100, Requests: 100, Seed: 4} // ~1s schedule
+	cfg := Config{Rate: 100, Requests: 100, Seed: 4, MaxInFlight: 64} // ~1s schedule
 	go func() {
 		time.Sleep(30 * time.Millisecond)
 		cancel()
 	}()
-	res, err := Run(ctx, cfg, func(context.Context) error {
-		n.Add(1)
+	res, err := Run(ctx, cfg, func(context.Context, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Canceled == 0 {
+		t.Error("expected canceled tail to be counted as Canceled")
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0 (cap never hit; cancellation is not MaxInFlight pressure)", res.Dropped)
+	}
+	if res.Sent+res.Dropped+res.Canceled != 100 {
+		t.Fatalf("sent %d + dropped %d + canceled %d != 100", res.Sent, res.Dropped, res.Canceled)
+	}
+}
+
+// TestRunPassesScheduleIndex pins that do receives each request's
+// schedule index exactly once — the hook request mixes key off.
+func TestRunPassesScheduleIndex(t *testing.T) {
+	seen := make([]atomic.Int64, 40)
+	cfg := Config{Rate: 100000, Requests: 40, Seed: 6}
+	res, err := Run(context.Background(), cfg, func(_ context.Context, i int) error {
+		seen[i].Add(1)
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Dropped == 0 {
-		t.Error("expected canceled tail to be dropped")
+	if res.Sent != 40 {
+		t.Fatalf("sent = %d, want 40", res.Sent)
 	}
-	if res.Sent+res.Dropped != 100 {
-		t.Fatalf("sent %d + dropped %d != 100", res.Sent, res.Dropped)
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d seen %d times, want 1", i, got)
+		}
 	}
 }
 
@@ -151,8 +255,9 @@ func TestConfigValidate(t *testing.T) {
 		{Rate: -1, Requests: 10},
 		{Rate: 100, Requests: 0},
 		{Rate: 100, Requests: 10, MaxInFlight: -1},
+		{Rate: 100, Requests: 10, Burst: -1},
 	} {
-		if _, err := Run(context.Background(), cfg, func(context.Context) error { return nil }); err == nil {
+		if _, err := Run(context.Background(), cfg, func(context.Context, int) error { return nil }); err == nil {
 			t.Errorf("config %+v accepted, want error", cfg)
 		}
 	}

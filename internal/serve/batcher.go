@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sei/internal/nn"
@@ -14,11 +15,21 @@ import (
 )
 
 // Typed rejection errors. Handlers map them onto HTTP status codes
-// (429 and 503); match with errors.Is.
+// (413, 429 and 503); match with errors.Is.
 var (
-	// ErrQueueFull is backpressure: the bounded queue is at capacity
-	// and the predict was rejected rather than buffered unboundedly.
+	// ErrQueueFull is backpressure: the bounded queue cannot hold the
+	// whole request and it was rejected up front rather than buffered
+	// unboundedly or admitted piecemeal.
 	ErrQueueFull = errors.New("serve: queue full")
+	// ErrBatchTooLarge marks a request with more images than the queue
+	// can ever hold — it would be rejected even against an empty queue,
+	// so the client must split it.
+	ErrBatchTooLarge = errors.New("serve: request exceeds queue capacity")
+	// ErrDeadlineTooTight is deadline-aware load shedding: the
+	// request's remaining deadline is already below the observed flush
+	// latency, so queueing it would only burn a slot on a guaranteed
+	// timeout.
+	ErrDeadlineTooTight = errors.New("serve: deadline below observed flush latency")
 	// ErrDraining marks predicts submitted after Close began.
 	ErrDraining = errors.New("serve: draining")
 )
@@ -27,11 +38,12 @@ var (
 // engine-level eval_images / predict_panics counters from internal/nn
 // appear alongside these when the same Recorder is shared.
 const (
-	MetricBatches   = "serve_batches"
-	MetricPredicts  = "serve_predicts"
-	MetricQueueFull = "serve_queue_full"
-	MetricCanceled  = "serve_canceled"
-	MetricBatchSize = "serve_batch_size"
+	MetricBatches      = "serve_batches"
+	MetricPredicts     = "serve_predicts"
+	MetricQueueFull    = "serve_queue_full"
+	MetricCanceled     = "serve_canceled"
+	MetricBatchSize    = "serve_batch_size"
+	MetricDeadlineShed = "serve_deadline_shed"
 )
 
 var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
@@ -87,6 +99,10 @@ type Batcher struct {
 	// goroutine; pointer slots are cleared after every flush so a
 	// drained batch's jobs and images are not retained.
 	scr flushScratch
+
+	// flushNanos is an EWMA of recent flush wall times, feeding the
+	// deadline-aware admission estimate. 0 until the first flush.
+	flushNanos atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -154,39 +170,92 @@ func (b *Batcher) Close() {
 	<-b.done
 }
 
-// submit enqueues one job without blocking. The mutex serializes the
-// send against Close so a drain can never race a send on the closed
-// channel.
-func (b *Batcher) submit(j *job) error {
+// submitAll enqueues a request's jobs all-or-nothing. The mutex
+// serializes senders against each other and against Close, so the
+// free-slot check cannot be invalidated by a concurrent sender (the
+// loop only drains, which frees more room) and a drain can never race
+// a send on the closed channel. Rejecting up front instead of
+// admitting image-by-image is what keeps a doomed request from leaking
+// its prefix into the queue: those jobs would flush as canceled,
+// inflate serve_canceled and burn slots other clients were rejected
+// for.
+func (b *Batcher) submitAll(jobs []*job) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return ErrDraining
 	}
-	select {
-	case b.queue <- j:
-		return nil
-	default:
+	if len(jobs) > cap(b.queue) {
+		return fmt.Errorf("%w: %d images against a queue of %d", ErrBatchTooLarge, len(jobs), cap(b.queue))
+	}
+	if len(jobs) > cap(b.queue)-len(b.queue) {
 		b.cfg.Obs.Counter(MetricQueueFull).Add(1)
 		return ErrQueueFull
 	}
+	for _, j := range jobs {
+		b.queue <- j
+	}
+	return nil
+}
+
+// FlushLatency reports the EWMA of recent flush wall times (0 before
+// the first flush), the basis of deadline-aware admission.
+func (b *Batcher) FlushLatency() time.Duration {
+	return time.Duration(b.flushNanos.Load())
+}
+
+// observeFlush folds one flush duration into the EWMA (¾ old, ¼ new —
+// reactive enough to track a load shift within a few flushes, smooth
+// enough that one outlier does not start shedding).
+func (b *Batcher) observeFlush(d time.Duration) {
+	for {
+		old := b.flushNanos.Load()
+		next := int64(d)
+		if old != 0 {
+			next = (3*old + int64(d)) / 4
+		}
+		if b.flushNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// admissionEstimate predicts how long a request submitted now waits
+// before its results exist: one flush per MaxBatch-sized chunk already
+// queued ahead of it, plus its own flush. 0 when no flush has been
+// observed yet (admit optimistically until there is data).
+func (b *Batcher) admissionEstimate() time.Duration {
+	flush := time.Duration(b.flushNanos.Load())
+	if flush == 0 {
+		return 0
+	}
+	return flush * time.Duration(1+len(b.queue)/b.cfg.MaxBatch)
 }
 
 // Predict classifies imgs against c through the batcher, returning one
-// result per image in order. The whole request is rejected with
-// ErrQueueFull / ErrDraining when it cannot be queued, and abandons
-// with ctx.Err() when the context ends first; queued-but-unprocessed
-// images of an abandoned request are skipped at flush time.
+// result per image in order. The whole request is admitted or rejected
+// atomically: ErrBatchTooLarge when it can never fit, ErrQueueFull
+// when the queue lacks room now, ErrDeadlineTooTight when the caller's
+// remaining deadline is below the observed flush latency (shedding at
+// the door instead of wasting a slot on a guaranteed timeout), and
+// ErrDraining after Close. It abandons with ctx.Err() when the context
+// ends first; queued-but-unprocessed images of an abandoned request
+// are skipped at flush time.
 func (b *Batcher) Predict(ctx context.Context, c nn.Classifier, imgs []*tensor.Tensor) ([]nn.PredictResult, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		if est := b.admissionEstimate(); est > 0 && time.Until(dl) < est {
+			b.cfg.Obs.Counter(MetricDeadlineShed).Add(1)
+			return nil, fmt.Errorf("%w: %v remaining, ~%v to flush", ErrDeadlineTooTight, time.Until(dl).Round(time.Millisecond), est.Round(time.Millisecond))
+		}
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	jobs := make([]*job, len(imgs))
 	for i, img := range imgs {
-		j := &job{c: c, img: img, ctx: ctx, res: make(chan nn.PredictResult, 1)}
-		if err := b.submit(j); err != nil {
-			return nil, err
-		}
-		jobs[i] = j
+		jobs[i] = &job{c: c, img: img, ctx: ctx, res: make(chan nn.PredictResult, 1)}
+	}
+	if err := b.submitAll(jobs); err != nil {
+		return nil, err
 	}
 	out := make([]nn.PredictResult, len(jobs))
 	for i, j := range jobs {
@@ -222,7 +291,9 @@ func (b *Batcher) loop() {
 		}
 		timer.Stop()
 		b.scr.batch = batch
+		t0 := time.Now()
 		b.flush(batch)
+		b.observeFlush(time.Since(t0))
 		b.scr.clear()
 	}
 }

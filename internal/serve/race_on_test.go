@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled mirrors internal/seicore's test constant: allocation-
+// count assertions are skipped under the race detector, whose
+// instrumentation perturbs them.
+const raceEnabled = true

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sei/internal/mnist"
+	"sei/internal/nn"
+	"sei/internal/quant"
+	"sei/internal/seicore"
+	"sei/internal/tensor"
+)
+
+// diskDesign is what a snapshot file round-trips to: a classifier that
+// can also save itself.
+type diskDesign interface {
+	nn.Classifier
+	SaveFile(string) error
+}
+
+// buildDiskDesign trains and builds one small real SEI design,
+// deterministic in (dataSeed, buildSeed).
+func buildDiskDesign(t *testing.T, dataSeed, buildSeed int64) diskDesign {
+	t.Helper()
+	train, _ := mnist.SyntheticSplit(300, 30, dataSeed)
+	net := nn.NewTableNetwork(1, 3)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	nn.Train(net, train, tcfg)
+	qcfg := quant.DefaultSearchConfig()
+	qcfg.Samples = 120
+	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := seicore.DefaultSEIBuildConfig()
+	bcfg.DynamicThreshold = false
+	design, err := seicore.BuildSEI(q, nil, bcfg, rand.New(rand.NewSource(buildSeed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return design
+}
+
+// doPredictGen is doPredict with a ?generation= pin (0 = unpinned).
+func doPredictGen(url, design string, gen int, imgs []*tensor.Tensor) (int, predictResponse, error) {
+	req := predictRequest{Design: design}
+	for _, img := range imgs {
+		req.Images = append(req.Images, img.Data())
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, predictResponse{}, err
+	}
+	target := url + "/v1/predict"
+	if gen > 0 {
+		target += fmt.Sprintf("?generation=%d", gen)
+	}
+	resp, err := http.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, predictResponse{}, err
+	}
+	defer resp.Body.Close()
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return resp.StatusCode, predictResponse{}, fmt.Errorf("decoding response (status %d): %w", resp.StatusCode, err)
+	}
+	return resp.StatusCode, pr, nil
+}
+
+// checkGenLabels asserts one response is wholly the given offline
+// design's labels — the bit-identity acceptance criterion per
+// generation.
+func checkGenLabels(t *testing.T, pr predictResponse, wantGen int, offline nn.Classifier, imgs []*tensor.Tensor) {
+	t.Helper()
+	if wantGen > 0 && pr.Generation != wantGen {
+		t.Fatalf("response generation = %d, want %d", pr.Generation, wantGen)
+	}
+	if len(pr.Results) != len(imgs) {
+		t.Fatalf("%d results for %d images", len(pr.Results), len(imgs))
+	}
+	for i, r := range pr.Results {
+		if r.Error != "" {
+			t.Fatalf("image %d: %s", i, r.Error)
+		}
+		if want := offline.Predict(imgs[i]); r.Label != want {
+			t.Fatalf("generation %d image %d: served %d, offline design predicts %d",
+				pr.Generation, i, r.Label, want)
+		}
+	}
+}
+
+// TestServeLiveReloadBitIdentityPerGeneration is the live-reload
+// acceptance test: overwrite a design's snapshot on disk, publish it
+// through POST /v1/admin/reload as a 50% canary, and require every
+// served response to be bit-identical to exactly one generation's
+// offline EvaluateDesign path — pinned requests address each
+// generation, unpinned traffic splits deterministically, and promotion
+// retires the old generation atomically.
+func TestServeLiveReloadBitIdentityPerGeneration(t *testing.T) {
+	designA := buildDiskDesign(t, 5, 9)
+	designB := buildDiskDesign(t, 11, 23)
+	_, test := mnist.SyntheticSplit(300, 30, 5)
+	imgs := test.Images[:8]
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net"+DesignExt)
+	if err := designA.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(dir, 1)
+	ts, _ := newTestServer(t, reg,
+		BatcherConfig{MaxBatch: 16, MaxDelay: time.Millisecond, Workers: 2},
+		Options{})
+
+	// Generation 1, loaded cold from disk.
+	status, pr, err := doPredictGen(ts.URL, "net", 0, imgs)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("initial predict: status %d err %v", status, err)
+	}
+	checkGenLabels(t, pr, 1, designA, imgs)
+
+	// Overwrite the snapshot and reload it as a 50% canary.
+	if err := designB.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/admin/reload?design=net&canary=0.5", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr reloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr.Generation != 2 || rr.Canary != 0.5 {
+		t.Fatalf("reload: status %d response %+v, want 200/generation 2/canary 0.5", resp.StatusCode, rr)
+	}
+
+	// Pinned requests address each generation and stay bit-identical to
+	// that generation's design — the old generation still serves even
+	// though its bytes on disk were overwritten.
+	for _, tc := range []struct {
+		gen     int
+		offline nn.Classifier
+	}{{1, designA}, {2, designB}} {
+		status, pr, err := doPredictGen(ts.URL, "net", tc.gen, imgs)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("pinned gen %d: status %d err %v", tc.gen, status, err)
+		}
+		checkGenLabels(t, pr, tc.gen, tc.offline, imgs)
+	}
+
+	// Unpinned traffic splits deterministically: with weight 0.5 and a
+	// fresh counter, every 2nd request routes to generation 2 — and
+	// each response is wholly one generation, never a blend.
+	gens := map[int]int{}
+	for i := 0; i < 20; i++ {
+		status, pr, err := doPredictGen(ts.URL, "net", 0, imgs)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("unpinned %d: status %d err %v", i, status, err)
+		}
+		switch pr.Generation {
+		case 1:
+			checkGenLabels(t, pr, 1, designA, imgs)
+		case 2:
+			checkGenLabels(t, pr, 2, designB, imgs)
+		default:
+			t.Fatalf("unpinned %d: generation %d", i, pr.Generation)
+		}
+		gens[pr.Generation]++
+	}
+	if gens[1] != 10 || gens[2] != 10 {
+		t.Fatalf("canary 0.5 split = %v over 20 requests, want exactly 10/10", gens)
+	}
+
+	// Promote through the admin surface: generation 1 retires.
+	resp, err = http.Post(ts.URL+"/v1/admin/canary?design=net&weight=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", resp.StatusCode)
+	}
+	status, pr, err = doPredictGen(ts.URL, "net", 0, imgs)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-promote predict: status %d err %v", status, err)
+	}
+	checkGenLabels(t, pr, 2, designB, imgs)
+	if status, _, _ := doPredictGen(ts.URL, "net", 1, imgs); status != http.StatusNotFound {
+		t.Fatalf("retired generation pin: status %d, want 404", status)
+	}
+
+	// /v1/designs reports the live generation set.
+	dresp, err := http.Get(ts.URL + "/v1/designs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dl struct {
+		Live []designInfo `json:"live"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dl); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if len(dl.Live) != 1 || dl.Live[0].Name != "net" ||
+		len(dl.Live[0].Generations) != 1 || dl.Live[0].Generations[0] != 2 {
+		t.Fatalf("/v1/designs live = %+v, want net with generations [2]", dl.Live)
+	}
+
+	// Admin error surface: canary on a single-generation design is a
+	// 409, reload of a never-seen name a 404.
+	resp, err = http.Post(ts.URL+"/v1/admin/canary?design=net&weight=0.5", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("canary without canary: status %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/admin/reload?design=ghost", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("reload unknown design: status %d, want 404", resp.StatusCode)
+	}
+
+	// Unregister retires the design and its queue; the name stays
+	// resolvable from disk (designB's file) as a fresh generation 1.
+	resp, err = http.Post(ts.URL+"/v1/admin/unregister?design=net", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unregister: status %d", resp.StatusCode)
+	}
+	status, pr, err = doPredictGen(ts.URL, "net", 0, imgs)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("post-unregister predict: status %d err %v", status, err)
+	}
+	checkGenLabels(t, pr, 1, designB, imgs)
+}

@@ -75,18 +75,29 @@ func (g *gatedClassifier) Predict(*tensor.Tensor) int {
 	return 0
 }
 
-func newTestServer(t *testing.T, reg *Registry, bcfg BatcherConfig, opts Options) (*httptest.Server, *Batcher) {
+func newTestServer(t *testing.T, reg *Registry, bcfg BatcherConfig, opts Options) (*httptest.Server, *Pool) {
 	t.Helper()
-	b, err := NewBatcher(bcfg)
+	p, err := NewPool(bcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(b.Close)
+	t.Cleanup(p.Close)
 	opts.Registry = reg
-	opts.Batcher = b
+	opts.Pool = p
 	ts := httptest.NewServer(NewHandler(opts))
 	t.Cleanup(ts.Close)
-	return ts, b
+	return ts, p
+}
+
+// batcherFor resolves a design's batcher from the pool, failing the
+// test on error.
+func batcherFor(t *testing.T, p *Pool, name string) *Batcher {
+	t.Helper()
+	b, err := p.For(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 // doPredict is goroutine-safe (no *testing.T): it returns transport
@@ -315,9 +326,10 @@ func TestServeBackpressureAndDrain(t *testing.T) {
 	reg := NewRegistry("", 0)
 	reg.Register("slow", gate)
 	rec := obs.New()
-	ts, b := newTestServer(t, reg,
+	ts, p := newTestServer(t, reg,
 		BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, QueueCap: 2, Workers: 1, Obs: rec},
 		Options{Obs: rec})
+	b := batcherFor(t, p, "slow")
 
 	// Occupy the loop with a gated predict, then fill the queue.
 	results := make(chan error, 3)
@@ -356,9 +368,12 @@ func TestServeBackpressureAndDrain(t *testing.T) {
 			t.Fatalf("queued predict %d failed: %v", i, err)
 		}
 	}
-	b.Close()
+	p.Close()
 	if _, err := b.Predict(context.Background(), gate, []*tensor.Tensor{f.data.Images[0]}); err != ErrDraining {
 		t.Fatalf("post-drain submit error = %v, want ErrDraining", err)
+	}
+	if _, err := p.For("other"); err != ErrDraining {
+		t.Fatalf("post-drain pool lookup error = %v, want ErrDraining", err)
 	}
 	hresp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
