@@ -21,25 +21,19 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Machine-readable record of the inference fast paths: the
-# single-image fast/float pair, the per-image batch bench and the
-# bit-sliced batch bench, converted to BENCH_PR6.json (ns/op, B/op,
-# allocs/op, images/sec, derived speedups — including the sliced
-# path's images/sec multiple over per-image SEIPredict). BENCH_PR4.json
-# is the recorded pre-sliced baseline and is not regenerated.
+# Machine-readable record of the inference fast paths. Thin wrapper
+# over the seibench front door: one trend-gated report under
+# bench-reports/ replaces the legacy ad-hoc BENCH_PR*.json flow
+# (cmd/benchjson is deprecated; old BENCH_PR*.json files remain as
+# recorded history and are not regenerated).
 bench-json:
-	$(GO) test -bench='SEIPredict' -benchmem -benchtime=2s -run='^$$' . \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
-	@cat BENCH_PR6.json
+	$(GO) run ./cmd/seibench run inference
 
-# Machine-readable record of the calibration fast path: the
-# incremental/naive threshold-search pair and the full quantization
-# pipeline, converted to BENCH_PR5.json (ns/op, B/op, allocs/op,
-# skip_rate, derived speedup and allocation reduction).
+# Machine-readable record of the calibration fast path, through the
+# same seibench front door (search suite: threshold-search ns/op and
+# allocs/op land in the report's gated metrics).
 bench-quant:
-	$(GO) test -bench='SearchThresholds|QuantizePipeline' -benchmem -run='^$$' . \
-		| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
-	@cat BENCH_PR5.json
+	$(GO) run ./cmd/seibench run search
 
 # One iteration of every benchmark in every package — including the
 # quant calibration benches above: a compile-and-run smoke that keeps

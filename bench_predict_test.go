@@ -103,6 +103,52 @@ func BenchmarkSEIPredictBatchSliced(b *testing.B) {
 	b.ReportMetric(float64(b.N*len(imgs))/b.Elapsed().Seconds(), "images/sec")
 }
 
+// BenchmarkSEIPredictBounded is BenchmarkSEIPredict with the runtime
+// activation bounds on (DESIGN.md §16): the same labels, with crossbar
+// rows and sense-amp compares skipped when the suffix bound decides a
+// column early. The delta against BenchmarkSEIPredict is the bound
+// machinery's CPU cost or saving; the energy effect is what the
+// seibench energy suite gates.
+func BenchmarkSEIPredictBounded(b *testing.B) {
+	d := benchSEIDesign(b)
+	d.SetBounded(true)
+	defer d.SetBounded(false)
+	img := benchContext(b).Test.Images[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Predict(img)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+// BenchmarkSEIPredictBatchSlicedBounded is the sliced batch benchmark
+// with runtime activation bounds on: per-lane bound walks over packed
+// 64-image words.
+func BenchmarkSEIPredictBatchSlicedBounded(b *testing.B) {
+	d := benchSEIDesign(b)
+	d.SetBounded(true)
+	defer d.SetBounded(false)
+	imgs := benchContext(b).Test.Images
+	imgs = imgs[:len(imgs)/nn.SlicedGroupSize*nn.SlicedGroupSize]
+	if len(imgs) == 0 {
+		b.Fatalf("benchmark context has fewer than %d test images", nn.SlicedGroupSize)
+	}
+	var res []nn.PredictResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = nn.PredictBatchInto(nil, d, imgs, 0, res)
+	}
+	b.StopTimer()
+	for i, r := range res {
+		if r.Err != nil {
+			b.Fatalf("image %d: %v", i, r.Err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(imgs))/b.Elapsed().Seconds(), "images/sec")
+}
+
 // TestSEIPredictBatchSlicedZeroAllocs is the engine-level allocation
 // guard for the sliced path on the real benchmark design: once the
 // scratch pool is warm and the result buffer is reused, a full sliced

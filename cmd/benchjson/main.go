@@ -1,15 +1,15 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON report. The repo's `make bench-json` target
-// pipes the inference benchmarks through it to produce BENCH_PR4.json,
-// the recorded before/after evidence for the bit-packed fast path,
-// and `make bench-quant` pipes the calibration benchmarks into
-// BENCH_PR5.json, the evidence for the incremental threshold-search
-// engine (ns/op, B/op, allocs/op and custom metrics such as
-// images/sec and skip_rate, plus derived baseline/optimized ratios).
+// machine-readable JSON report (ns/op, B/op, allocs/op and custom
+// metrics such as images/sec and skip_rate, plus derived
+// baseline/optimized ratios). It produced the recorded BENCH_PR*.json
+// evidence files of the early optimization PRs.
 //
-// The parsing itself lives in internal/benchparse, shared with
-// cmd/seibench — the benchmark front door that writes trend-gated
-// bench-reports (see README "Benchmark front door").
+// Deprecated: cmd/seibench is the benchmark front door now — `make
+// bench-json` and `make bench-quant` run `seibench run`, which writes
+// trend-gated reports under bench-reports/ (see README "Benchmark
+// front door"). benchjson remains only to re-derive JSON from raw
+// `go test -bench` output by hand; the parsing lives in
+// internal/benchparse, shared with seibench.
 package main
 
 import (

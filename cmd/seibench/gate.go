@@ -23,15 +23,22 @@ type headlineMetric struct {
 }
 
 // headlineMetrics are the trend-gated numbers: batch throughput,
-// single-image latency, calibration search cost, tail latency under
-// open-loop load, and counter-derived energy per inference. Everything
-// else in Report.Metrics is informational.
+// single-image latency and allocation count, calibration search cost
+// and allocations, tail latency under open-loop load, counter-derived
+// energy per inference (bounded mode), and the bounded run's skip
+// rate. Everything else in Report.Metrics is informational. Reports
+// from before a metric existed simply lack the key, and the gate's
+// missing⇒warn rule phases each new metric in: warn-only on the first
+// run against an old baseline, gated thereafter.
 var headlineMetrics = []headlineMetric{
 	{"images_per_sec", higherIsBetter, "images/sec"},
 	{"predict_ns_per_op", lowerIsBetter, "ns/op"},
+	{"predict_allocs_per_op", lowerIsBetter, "allocs/op"},
 	{"search_ns_per_op", lowerIsBetter, "ns/op"},
+	{"search_allocs_per_op", lowerIsBetter, "allocs/op"},
 	{"serve_p99_ms", lowerIsBetter, "ms"},
 	{"pj_per_inference", lowerIsBetter, "pJ"},
+	{"sei_skip_rate", higherIsBetter, "ratio"},
 }
 
 // findingStatus classifies one metric's base→current movement.

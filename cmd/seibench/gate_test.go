@@ -25,27 +25,32 @@ func TestGateRegressionFixtureExitsNonZero(t *testing.T) {
 	if !strings.Contains(errb, "gate failed") {
 		t.Errorf("stderr lacks gate failure message:\n%s", errb)
 	}
-	// images/sec fell 15% and predict ns/op rose 15%: both named.
-	for _, m := range []string{"images_per_sec", "predict_ns_per_op"} {
+	// images/sec fell 15%, predict ns/op rose 15% and predict allocs/op
+	// rose 20%: all named.
+	for _, m := range []string{"images_per_sec", "predict_ns_per_op", "predict_allocs_per_op"} {
 		if !strings.Contains(out, m) {
 			t.Errorf("stdout does not mention %s:\n%s", m, out)
 		}
 	}
-	// Only the two >10% movements fail; the 2% search and 5% p99
-	// worsenings are inside tolerance.
+	// Only the three >10% movements fail; the 2% search, 5% p99 and 5%
+	// search-allocs worsenings are inside tolerance.
 	findings := mustFindings(t, "testdata/base.json", "testdata/regressed.json", 10)
 	byName := map[string]findingStatus{}
 	for _, f := range findings {
 		byName[f.Metric] = f.Status
 	}
-	if byName["images_per_sec"] != statusRegressed || byName["predict_ns_per_op"] != statusRegressed {
-		t.Errorf("expected images_per_sec and predict_ns_per_op regressed, got %v", byName)
+	for _, m := range []string{"images_per_sec", "predict_ns_per_op", "predict_allocs_per_op"} {
+		if byName[m] != statusRegressed {
+			t.Errorf("expected %s regressed, got %v", m, byName)
+		}
 	}
-	if byName["search_ns_per_op"] == statusRegressed || byName["serve_p99_ms"] == statusRegressed {
-		t.Errorf("within-tolerance worsenings flagged as regressions: %v", byName)
+	for _, m := range []string{"search_ns_per_op", "serve_p99_ms", "search_allocs_per_op", "sei_skip_rate"} {
+		if byName[m] == statusRegressed {
+			t.Errorf("within-tolerance %s flagged as a regression: %v", m, byName)
+		}
 	}
-	if regressions(findings) != 2 {
-		t.Errorf("regressions = %d, want 2: %v", regressions(findings), byName)
+	if regressions(findings) != 3 {
+		t.Errorf("regressions = %d, want 3: %v", regressions(findings), byName)
 	}
 }
 
@@ -81,6 +86,14 @@ func TestGateMissingMetricWarnsButPasses(t *testing.T) {
 	}
 	if !strings.Contains(errb, "pj_per_inference") || !strings.Contains(errb, "warning") {
 		t.Errorf("stderr lacks missing-metric warning for pj_per_inference:\n%s", errb)
+	}
+	// Metrics added after the baseline was recorded — the allocation
+	// counts and the skip rate here — warn the same way: the gate
+	// phases them in rather than failing old baselines.
+	for _, m := range []string{"predict_allocs_per_op", "sei_skip_rate"} {
+		if !strings.Contains(errb, m) {
+			t.Errorf("stderr lacks missing-metric warning for %s:\n%s", m, errb)
+		}
 	}
 	if !strings.Contains(out, "missing") {
 		t.Errorf("stdout does not mark the metric missing:\n%s", out)

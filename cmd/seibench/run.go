@@ -296,29 +296,60 @@ func runServeSuite(cfg runConfig, p *pipeline, stderr io.Writer) (*ServeResult, 
 // runEnergySuite evaluates the fixture design with hardware counters
 // on and joins the totals against the power library: the counter-
 // derived pJ/inference trend metric (see DESIGN.md §14 for how this
-// relates to the static internal/arch accounting).
+// relates to the static internal/arch accounting). Two passes run over
+// the same images: an unbounded baseline and a bounded pass with the
+// runtime activation bounds (DESIGN.md §16) enabled. The bounded pass
+// is the headline — that is how the engine runs when power matters —
+// with the unbounded figure and the skip rate reported alongside so
+// the saving stays visible as its own trend.
 func runEnergySuite(cfg runConfig, p *pipeline, rep *Report, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "seibench: energy suite — instrumented evaluation over %d images\n", len(p.test.Images))
+	lib := power.DefaultLibrary()
 	rec := obs.New()
 	p.design.Instrument(rec)
 	errRate := nn.ClassifierErrorRateObs(rec, p.design, p.test, 0)
 	obsRep := rec.Report("seibench")
 	images := obsRep.Counters[nn.MetricEvalImages]
-	pj, err := power.EnergyPerInferencePJ(obsRep, power.DefaultLibrary(), images)
+	pjUnbounded, err := power.EnergyPerInferencePJ(obsRep, lib, images)
 	if err != nil {
 		return err
 	}
-	breakdown, err := power.EnergyFromCounters(obsRep, power.DefaultLibrary())
+
+	fmt.Fprintln(stderr, "seibench: energy suite — bounded pass (runtime activation bounds)")
+	brec := obs.New()
+	p.design.Instrument(brec)
+	p.design.SetBounded(true)
+	boundedErrRate := nn.ClassifierErrorRateObs(brec, p.design, p.test, 0)
+	p.design.SetBounded(false)
+	p.design.Instrument(nil)
+	brec.PublishSkipRates()
+	bRep := brec.Report("seibench-bounded")
+	pj, err := power.EnergyPerInferencePJ(bRep, lib, bRep.Counters[nn.MetricEvalImages])
 	if err != nil {
 		return err
+	}
+	breakdown, err := power.EnergyFromCounters(bRep, lib)
+	if err != nil {
+		return err
+	}
+	if boundedErrRate != errRate {
+		// Bounded mode is exact on the ideal-analog path; a divergence
+		// here is a bug worth a loud note, not a silent number.
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("energy suite: bounded error rate %.4f != unbounded %.4f", boundedErrRate, errRate))
 	}
 	rep.Metrics["pj_per_inference"] = pj
+	rep.Metrics["pj_per_inference_unbounded"] = pjUnbounded
+	rep.Metrics["sei_skip_rate"] = bRep.Gauges[obs.SEISkipRate]
 	rep.Metrics["error_rate"] = errRate
-	rep.Counters = obsRep.Counters
+	rep.Counters = bRep.Counters
 	rep.Derived["energy_sa_pj"] = breakdown.SA
 	rep.Derived["energy_rram_pj"] = breakdown.RRAM
 	rep.Derived["energy_driver_pj"] = breakdown.Driver
 	rep.Derived["energy_digital_pj"] = breakdown.Digital
+	if pjUnbounded > 0 {
+		rep.Derived["energy_saved_pct"] = 100 * (pjUnbounded - pj) / pjUnbounded
+	}
 	return nil
 }
 
@@ -350,10 +381,16 @@ func runAll(cfg runConfig, now time.Time, stderr io.Writer) (*Report, error) {
 		switch b.Name {
 		case "SEIPredict":
 			rep.Metrics["predict_ns_per_op"] = b.Metrics["ns/op"]
+			if v, ok := b.Metrics["allocs/op"]; ok {
+				rep.Metrics["predict_allocs_per_op"] = v
+			}
 		case "SEIPredictBatchSliced":
 			rep.Metrics["images_per_sec"] = b.Metrics["images/sec"]
 		case "SearchThresholds":
 			rep.Metrics["search_ns_per_op"] = b.Metrics["ns/op"]
+			if v, ok := b.Metrics["allocs/op"]; ok {
+				rep.Metrics["search_allocs_per_op"] = v
+			}
 		}
 	}
 	rep.Machine = hostMachine(bench.CPU)

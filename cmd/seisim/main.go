@@ -18,6 +18,7 @@
 //	efficiency  GOPs/J vs FPGA/GPU (Section 5.3)
 //	timing      latency/throughput and the replica trade-off (Section 5.3)
 //	map         per-layer floorplan with measured-activity energy
+//	bounded     runtime activation-bound study: skip rates, energy, approx delta
 //	pareto      device precision/variation Pareto frontier
 //	vgg         VGG-19 motivation numbers (Section 2.3)
 //	verilog     golden digital RTL of the SEI stages (internal/hdl)
@@ -267,6 +268,12 @@ func run(what string, cfg experiments.Config, netID int, sizes []int) error {
 			m.Describe(w, lib)
 			fmt.Fprintln(w)
 		}
+	case "bounded":
+		res, err := experiments.BoundedStudy(c, netID)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
 	case "pareto":
 		points, err := experiments.ParetoStudy(c, netID, []int{2, 3, 4, 5, 6}, []float64{0, 0.02, 0.05, 0.1})
 		if err != nil {

@@ -433,3 +433,95 @@ func TestSlicedPathThreeWayDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// Runtime activation bounds (internal/seicore/bounds.go) add a fourth
+// implementation of the prediction contract: the bounded fast path
+// must be label-identical to the unbounded fast path and the float
+// path — the bounds only skip work that provably cannot change a
+// sense-amp decision — at every worker count, on split/permuted and
+// unipolar-dynamic designs. The bounded run's own counters (hw_* and
+// sei_* alike) must also be worker-count invariant.
+func TestBoundedPathThreeWayDeterminism(t *testing.T) {
+	train, test := mnist.SyntheticSplit(300, 120, 7)
+	net := nn.NewTableNetwork(1, 7)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Seed = 7
+	nn.Train(net, train, tcfg)
+	scfg := quant.DefaultSearchConfig()
+	scfg.Samples = 120
+	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, scfg)
+	if err != nil {
+		t.Fatalf("quantize: %v", err)
+	}
+	perm := rand.New(rand.NewSource(13)).Perm(q.Convs[1].FanIn())
+	designs := map[string]func() seicore.SEIBuildConfig{
+		"split-permuted": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.Layer.MaxCrossbar = 128
+			cfg.Orders = [][]int{nil, perm}
+			cfg.CalibImages = 20
+			return cfg
+		},
+		"unipolar-dynamic": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.Layer.Mode = seicore.ModeUnipolarDynamic
+			cfg.DynamicThreshold = false
+			return cfg
+		},
+		"default-static": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.DynamicThreshold = false
+			return cfg
+		},
+	}
+	for name, mk := range designs {
+		t.Run(name, func(t *testing.T) {
+			d, err := seicore.BuildSEI(q, train, mk(), rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatalf("build SEI: %v", err)
+			}
+			run := func(bounded, fast bool, workers int) ([]int, map[string]int64) {
+				rec := obs.New()
+				d.Instrument(rec)
+				d.SetFastPath(fast)
+				d.SetBounded(bounded)
+				defer func() {
+					d.Instrument(nil)
+					d.SetFastPath(true)
+					d.SetBounded(false)
+				}()
+				res := nn.PredictBatchObs(rec, d, test.Images, workers)
+				labels := make([]int, len(res))
+				for i, r := range res {
+					if r.Err != nil {
+						t.Fatalf("bounded=%v fast=%v workers=%d image %d: %v", bounded, fast, workers, i, r.Err)
+					}
+					labels[i] = r.Label
+				}
+				return labels, comparablePredictCounters(rec.CounterValues())
+			}
+			baseLabels, boundedCounters := run(true, true, 1)
+			for _, workers := range []int{1, 2, 8} {
+				// Bounded fast: counters must match the serial bounded run.
+				if workers > 1 {
+					labels, counters := run(true, true, workers)
+					if !reflect.DeepEqual(labels, baseLabels) {
+						t.Errorf("bounded workers=%d: labels diverge from serial bounded run", workers)
+					}
+					if !reflect.DeepEqual(counters, boundedCounters) {
+						t.Errorf("bounded workers=%d: counters diverge:\n got  %v\n want %v",
+							workers, counters, boundedCounters)
+					}
+				}
+				// Unbounded fast and float: labels must match the bounded run.
+				for _, fast := range []bool{true, false} {
+					labels, _ := run(false, fast, workers)
+					if !reflect.DeepEqual(labels, baseLabels) {
+						t.Errorf("fast=%v workers=%d: labels diverge from bounded path", fast, workers)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import "strings"
+
+// Runtime activation-bound skip metrics (seicore bounded inference,
+// DESIGN.md §16). These count work the bounded fast paths provably
+// avoided: rows whose analog drive was skipped because every column of
+// their block had already decided, columns decided by the suffix bound
+// before the final sense-amp compare, digital bound evaluations paid
+// to earn the skips, and whole blocks skipped by the cross-block
+// digital-threshold test. Each metric exists as an aggregate counter
+// and as per-stage "<name>_stageN" variants so skip rates can be read
+// per conv stage.
+const (
+	// SEIRowsDriven counts active input rows actually driven in bounded
+	// mode (the complement of SEIRowsSkipped over the active rows).
+	SEIRowsDriven = "sei_rows_driven"
+	// SEIRowsSkipped counts active input rows whose crossbar drive was
+	// skipped: rows after a block fully decided, rows of wholly-skipped
+	// blocks, and rows of pool-cropped windows whose output is never
+	// read.
+	SEIRowsSkipped = "sei_rows_skipped"
+	// SEIColsEarlyExit counts output columns decided by the suffix
+	// bound before the block's scan completed.
+	SEIColsEarlyExit = "sei_cols_early_exit"
+	// SEIBoundEvals counts per-column bound evaluations — the digital
+	// work (two compares and a multiply-add) paid per checkpoint per
+	// undecided column; power accounting charges these as adder events.
+	SEIBoundEvals = "sei_bound_evals"
+	// SEIBlocksSkipped counts split blocks skipped wholesale after the
+	// cross-block digital threshold resolved every output column.
+	SEIBlocksSkipped = "sei_blocks_skipped"
+	// SEISkipRate is the derived gauge skipped/(driven+skipped),
+	// published by PublishSkipRates as an aggregate and per stage.
+	SEISkipRate = "sei_skip_rate"
+)
+
+// SkipHW is the pre-resolved bundle of activation-bound skip counters
+// for one pipeline stage: every event lands on both the aggregate
+// counter and the stage-suffixed one. All methods are no-ops on nil,
+// so uninstrumented bounded runs pay one nil check per block.
+type SkipHW struct {
+	driven, skipped, cols, evals, blocks           *Counter
+	stDriven, stSkipped, stCols, stEvals, stBlocks *Counter
+}
+
+// SkipHW returns the skip-counter bundle for the named stage (e.g.
+// "stage1"), creating the aggregate and stage-suffixed counters on
+// first use so they appear in reports — at value 0 — even when nothing
+// is ever skipped. A nil recorder returns a nil bundle.
+func (r *Recorder) SkipHW(stage string) *SkipHW {
+	if r == nil {
+		return nil
+	}
+	suf := "_" + stage
+	return &SkipHW{
+		driven:    r.Counter(SEIRowsDriven),
+		skipped:   r.Counter(SEIRowsSkipped),
+		cols:      r.Counter(SEIColsEarlyExit),
+		evals:     r.Counter(SEIBoundEvals),
+		blocks:    r.Counter(SEIBlocksSkipped),
+		stDriven:  r.Counter(SEIRowsDriven + suf),
+		stSkipped: r.Counter(SEIRowsSkipped + suf),
+		stCols:    r.Counter(SEIColsEarlyExit + suf),
+		stEvals:   r.Counter(SEIBoundEvals + suf),
+		stBlocks:  r.Counter(SEIBlocksSkipped + suf),
+	}
+}
+
+// Record adds one bounded-evaluation outcome: driven/skipped active
+// rows, columns decided early, bound evaluations paid, and blocks
+// skipped wholesale. Atomic adds commute, so totals are identical for
+// every worker count.
+func (s *SkipHW) Record(driven, skipped, colsEarly, boundEvals, blocksSkipped int64) {
+	if s == nil {
+		return
+	}
+	if driven != 0 {
+		s.driven.Add(driven)
+		s.stDriven.Add(driven)
+	}
+	if skipped != 0 {
+		s.skipped.Add(skipped)
+		s.stSkipped.Add(skipped)
+	}
+	if colsEarly != 0 {
+		s.cols.Add(colsEarly)
+		s.stCols.Add(colsEarly)
+	}
+	if boundEvals != 0 {
+		s.evals.Add(boundEvals)
+		s.stEvals.Add(boundEvals)
+	}
+	if blocksSkipped != 0 {
+		s.blocks.Add(blocksSkipped)
+		s.stBlocks.Add(blocksSkipped)
+	}
+}
+
+// PublishSkipRates derives the sei_skip_rate gauges from the recorded
+// skip counters: for the aggregate pair and every stage-suffixed pair
+// with any activity, it sets Gauge(sei_skip_rate<suffix>) to
+// skipped/(driven+skipped). Call from serial orchestration code after
+// an instrumented evaluation.
+func (r *Recorder) PublishSkipRates() {
+	if r == nil {
+		return
+	}
+	counters := r.CounterValues()
+	for name, skipped := range counters {
+		suffix, ok := strings.CutPrefix(name, SEIRowsSkipped)
+		if !ok {
+			continue
+		}
+		if suffix != "" && !strings.HasPrefix(suffix, "_") {
+			continue
+		}
+		driven := counters[SEIRowsDriven+suffix]
+		if total := driven + skipped; total > 0 {
+			r.Gauge(SEISkipRate + suffix).Set(float64(skipped) / float64(total))
+		}
+	}
+}

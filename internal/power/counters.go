@@ -46,8 +46,12 @@ func CountsFromReport(rep obs.Report) (Counts, error) {
 		RowDrives:     active,
 		CellReads:     int64(float64(CellsPerWeight*active) * meanCols),
 		// The OR-pool window reductions are the digital merge tree —
-		// internal/arch books the same events as adds.
-		Adds: rep.Counters[obs.HWORPoolReductions],
+		// internal/arch books the same events as adds. Runtime
+		// activation-bound evaluations (seicore bounded mode) are two
+		// digital compares each — the emit-0 and emit-1 checks — so the
+		// skip logic's own overhead is charged, not hidden: bounded-mode
+		// savings are net of the bound checker's energy.
+		Adds: rep.Counters[obs.HWORPoolReductions] + 2*rep.Counters[obs.SEIBoundEvals],
 	}, nil
 }
 

@@ -46,6 +46,21 @@ func TestCountsFromReportUniformColumns(t *testing.T) {
 	}
 }
 
+// TestCountsFromReportBoundEvals pins that bounded-mode runs pay for
+// their own skip logic: each sei_bound_evals event books two digital
+// compares on the Adds counter, on top of the OR-pool reductions.
+func TestCountsFromReportBoundEvals(t *testing.T) {
+	rep := counterReport(10, 160, 160, 500, 40)
+	rep.Counters[obs.SEIBoundEvals] = 25
+	c, err := CountsFromReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(40 + 2*25); c.Adds != want {
+		t.Errorf("Adds = %d, want %d (orpool + 2×bound evals)", c.Adds, want)
+	}
+}
+
 func TestCountsFromReportUninstrumented(t *testing.T) {
 	if _, err := CountsFromReport(obs.Report{Name: "empty", Counters: map[string]int64{}}); err == nil {
 		t.Fatal("want error for a report without hw counters")

@@ -108,17 +108,26 @@ type SEIDesign struct {
 	slicedOff bool
 	scratch   *sync.Pool
 	sliced    *sync.Pool
+	// bounded enables the runtime activation-bound walk (bounds.go) on
+	// the ideal-analog fast paths: labels stay bit-identical, hw_*
+	// counters record only work actually performed, and the sei_*
+	// counters account for what was skipped. Off by default
+	// (SetBounded) so existing counter-parity goldens are unaffected.
+	bounded bool
 }
 
 // initFastPath caches the fast-path decision and creates the scratch
 // arena pools (per-image and bit-sliced). Called once at construction
-// (BuildSEI / LoadDesign).
+// (BuildSEI / LoadDesign). Bound tables are built for every design —
+// noisy ones included, since the approximate mode needs them — but the
+// bounded walk itself stays off until SetBounded/SetBoundedApprox.
 func (d *SEIDesign) initFastPath() {
 	d.fast = d.fastEligible()
 	if d.fast {
 		d.scratch = &sync.Pool{}
 		d.sliced = &sync.Pool{}
 	}
+	d.initBounds()
 }
 
 // SetFastPath enables (the default for eligible designs) or disables
@@ -127,6 +136,33 @@ func (d *SEIDesign) initFastPath() {
 // bit-identity. It cannot enable the fast path on noisy/nonlinear
 // designs. Not safe to call concurrently with evaluation.
 func (d *SEIDesign) SetFastPath(on bool) { d.fastOff = !on }
+
+// SetBounded enables the runtime activation-bound walk on the
+// ideal-analog fast paths (per-image and bit-sliced): crossbar rows
+// that provably cannot change any undecided column's sense-amp
+// decision are never driven, and pool-cropped window positions are
+// skipped wholesale. Labels are bit-identical to the unbounded paths;
+// hw_* counters shrink exactly where work was skipped, with the
+// avoided work recorded on the sei_* skip counters. No effect on the
+// float path (noisy designs need SetBoundedApprox). Not safe to call
+// concurrently with evaluation.
+func (d *SEIDesign) SetBounded(on bool) { d.bounded = on }
+
+// Bounded reports whether the activation-bound walk is enabled.
+func (d *SEIDesign) Bounded() bool { return d.bounded }
+
+// SetBoundedApprox enables the explicit *approximate* bounded mode on
+// the noisy float path: bound decisions are made against the ideal
+// column sums, so read noise can flip a decision the bound already
+// made. Off by default; cmd/seisim's bounded experiment reports the
+// measured accuracy delta. Implies nothing about the ideal-analog
+// paths (use SetBounded for those). Not safe to call concurrently with
+// evaluation.
+func (d *SEIDesign) SetBoundedApprox(on bool) {
+	for _, l := range d.Convs {
+		l.approx = on
+	}
+}
 
 var _ quant.StageEval = (*SEIDesign)(nil)
 
@@ -194,8 +230,10 @@ func BuildSEI(q *quant.QuantizedNet, train *mnist.Dataset, cfg SEIBuildConfig, r
 func (d *SEIDesign) Instrument(rec *obs.Recorder) {
 	hw := rec.HW()
 	d.Input.hw = hw
-	for _, l := range d.Convs {
+	d.Input.skip = rec.SkipHW("stage0")
+	for i, l := range d.Convs {
 		l.hw = hw
+		l.skip = rec.SkipHW(fmt.Sprintf("stage%d", i+1))
 	}
 	d.FC.hw = hw
 	if d.Q != nil {

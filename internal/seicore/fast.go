@@ -180,6 +180,9 @@ func poolSet(out *bitvec.Vec, g *stageGeom, k, oy, ox int) {
 // predictFast classifies one image on the bit-packed path. The caller
 // owns s for the duration of the call.
 func (d *SEIDesign) predictFast(img *tensor.Tensor, s *seiScratch) int {
+	if d.bounded {
+		return d.predictFastBounded(img, s)
+	}
 	q := d.Q
 
 	// Stage 0 keeps the DAC+ADC organization (Section 3.2): float

@@ -1,0 +1,111 @@
+package seicore
+
+// The bounded variant of the per-image fast path (see bounds.go for
+// the bound machinery and the soundness argument). Two skips stack on
+// top of predictFast:
+//
+//   - Pool-crop skip: window positions in edge rows/columns the
+//     floor-division pool grid never covers (poolSet drops their bit)
+//     are skipped wholesale at every stage — their outputs are
+//     unreadable, so not driving them cannot change anything.
+//   - Row-bound skip: deeper SEI stages run evalBoundedCounts, which
+//     stops driving a block's rows once the suffix bound has decided
+//     every column and skips trailing blocks once the cross-block
+//     digital threshold has resolved every output.
+//
+// Labels are bit-identical to predictFast; hw_* counters record only
+// work actually performed, and the rows avoided land on the sei_*
+// skip counters (obs/skip.go).
+
+import "sei/internal/tensor"
+
+// cropped reports whether output position (oy, ox) falls outside the
+// floor-division pool grid — the mirror of poolSet's drop condition.
+func (g *stageGeom) croppedAt(oy, ox int) bool {
+	return g.pool > 1 && (oy/g.pool >= g.pooledH || ox/g.pool >= g.pooledW)
+}
+
+// predictFastBounded is predictFast with the activation-bound and
+// pool-crop skips. The caller owns s for the duration of the call.
+func (d *SEIDesign) predictFastBounded(img *tensor.Tensor, s *seiScratch) int {
+	q := d.Q
+
+	// Stage 0 (DAC-driven, float): no row bounding — the merged layer
+	// has no threshold readout to bound against — but pool-cropped
+	// windows skip the whole MVM, their active inputs counted skipped.
+	g := &s.geom[0]
+	out := s.cur
+	out.Reset(g.filters * g.pooledH * g.pooledW)
+	thr := q.Thresholds[0]
+	col := s.col[:g.filters]
+	data := img.Data()
+	var driven0, skipped0 int64
+	for oy := 0; oy < g.outH; oy++ {
+		for ox := 0; ox < g.outW; ox++ {
+			gatherFloatWindow(data, g, oy, ox, s.field)
+			if g.croppedAt(oy, ox) {
+				for _, v := range s.field {
+					if v != 0 {
+						skipped0++
+					}
+				}
+				continue
+			}
+			driven0 += int64(d.Input.evalIdealInto(s.field, col))
+			for k, v := range col {
+				if v > thr {
+					poolSet(out, g, k, oy, ox)
+				}
+			}
+		}
+	}
+	if g.pool > 1 {
+		q.CountORPool(int64(g.filters * g.pooledH * g.pooledW))
+	}
+	d.Input.skip.Record(driven0, skipped0, 0, 0, 0)
+
+	// Deeper SEI stages: pool-crop skip plus the bounded row walk.
+	for l := 1; l < len(q.Convs); l++ {
+		layer := d.Convs[l-1]
+		g := &s.geom[l]
+		in := s.cur
+		out := s.next
+		out.Reset(g.filters * g.pooledH * g.pooledW)
+		s.win.Reset(g.fan)
+		fired := s.fired[:layer.M]
+		col := s.col[:layer.M]
+		var cropSkip int64
+		for oy := 0; oy < g.outH; oy++ {
+			for ox := 0; ox < g.outW; ox++ {
+				gatherBitWindow(in, g, oy, ox, s.win)
+				if g.croppedAt(oy, ox) {
+					cropSkip += int64(s.win.OnesCount())
+					continue
+				}
+				layer.evalBoundedCounts(s.win, fired, col)
+				for k, f := range fired {
+					if f >= layer.DigitalThreshold {
+						poolSet(out, g, k, oy, ox)
+					}
+				}
+			}
+		}
+		if g.pool > 1 {
+			q.CountORPool(int64(g.filters * g.pooledH * g.pooledW))
+		}
+		if cropSkip > 0 {
+			layer.skip.Record(0, cropSkip, 0, 0, 0)
+		}
+		s.cur, s.next = out, in
+	}
+
+	// FC stage: argmax readout, nothing to bound.
+	d.FC.evalFastInto(s.cur, s.scores, s.col[:d.FC.M])
+	best, bi := s.scores[0], 0
+	for i, v := range s.scores {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -28,6 +28,16 @@ type blockSnapshot struct {
 	Inputs []int
 	Eff    []float64 // row-major [len(Inputs), M]
 	W0     []float64 // per-local-row dynamic column; nil unless unipolar
+
+	// Runtime activation-bound suffix tables (version 2, bounds.go).
+	// Zero/nil on blocks that are not boundable and in version-1 files;
+	// initBounds rebuilds absent tables at load, so old snapshots stay
+	// loadable and predict identically.
+	BndStride int
+	BndPos    []float64 // [checkpoints, M] suffix positive sums
+	BndNeg    []float64 // [checkpoints, M] suffix negative sums
+	BndAbs    []float64 // [checkpoints, M] suffix absolute sums
+	BndSlack  []float64 // [checkpoints] float-safety slack factor
 }
 
 type seiLayerSnapshot struct {
@@ -62,7 +72,9 @@ type designSnapshot struct {
 	CalibResults map[int]CalibrationResult
 }
 
-const designSnapshotVersion = 1
+// designSnapshotVersion 2 added the per-block bound tables; version-1
+// files load unchanged (tables rebuild from the effective weights).
+const designSnapshotVersion = 2
 
 func snapshotBlocks(blocks []seiBlock) []blockSnapshot {
 	out := make([]blockSnapshot, len(blocks))
@@ -73,6 +85,13 @@ func snapshotBlocks(blocks []seiBlock) []blockSnapshot {
 		}
 		if b.w0 != nil {
 			out[i].W0 = append([]float64(nil), b.w0...)
+		}
+		if b.bnd != nil {
+			out[i].BndStride = b.bnd.stride
+			out[i].BndPos = append([]float64(nil), b.bnd.sufPos...)
+			out[i].BndNeg = append([]float64(nil), b.bnd.sufNeg...)
+			out[i].BndAbs = append([]float64(nil), b.bnd.sufAbs...)
+			out[i].BndSlack = append([]float64(nil), b.bnd.slackU...)
 		}
 	}
 	return out
@@ -93,6 +112,20 @@ func restoreBlocks(snaps []blockSnapshot, m int) ([]seiBlock, error) {
 		}
 		if s.W0 != nil {
 			blocks[i].w0 = append([]float64(nil), s.W0...)
+		}
+		if s.BndStride > 0 {
+			cb := &colBounds{
+				n: len(s.Inputs), m: m, stride: s.BndStride,
+				sufPos: append([]float64(nil), s.BndPos...),
+				sufNeg: append([]float64(nil), s.BndNeg...),
+				sufAbs: append([]float64(nil), s.BndAbs...),
+				slackU: append([]float64(nil), s.BndSlack...),
+			}
+			// A malformed table is dropped, not fatal: initBounds
+			// rebuilds it from the effective weights at load.
+			if cb.valid(len(s.Inputs), m) {
+				blocks[i].bnd = cb
+			}
 		}
 		blocks[i].initFast()
 	}
@@ -147,7 +180,7 @@ func LoadDesign(r io.Reader, seed int64) (*SEIDesign, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("seicore: decoding design: %w", err)
 	}
-	if snap.Version != designSnapshotVersion {
+	if snap.Version < 1 || snap.Version > designSnapshotVersion {
 		return nil, fmt.Errorf("seicore: unsupported design version %d", snap.Version)
 	}
 	q, err := quant.Load(bytes.NewReader(snap.Quant))

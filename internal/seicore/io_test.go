@@ -2,8 +2,10 @@ package seicore
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"sei/internal/nn"
@@ -95,6 +97,79 @@ func TestDesignSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadDesignFile(filepath.Join(t.TempDir(), "missing.design"), 1); err == nil {
 		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+// TestDesignSaveLoadBoundTables pins version-2 persistence of the
+// runtime activation-bound tables: a round-tripped design carries the
+// exact suffix tables that were saved, and a version-1 snapshot (no
+// tables) still loads and reproduces identical bounded behavior by
+// rebuilding them from the effective weights.
+func TestDesignSaveLoadBoundTables(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultSEIBuildConfig()
+	cfg.Layer.MaxCrossbar = 16
+	cfg.DynamicThreshold = false
+	design, err := BuildSEI(f.q, nil, cfg, rand.New(rand.NewSource(15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := design.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDesign(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, l := range design.Convs {
+		for bi := range l.blocks {
+			want, got := l.blocks[bi].bnd, loaded.Convs[li].blocks[bi].bnd
+			if (want == nil) != (got == nil) {
+				t.Fatalf("conv %d block %d: bound table presence changed across round trip", li, bi)
+			}
+			if want != nil && !reflect.DeepEqual(want, got) {
+				t.Fatalf("conv %d block %d: bound tables diverge across round trip", li, bi)
+			}
+		}
+	}
+	sub := f.test.Subset(60)
+	wantLabels, wantCounters := evalBounded(t, design, sub, 2)
+
+	// The loaded design's bounded run must match bit-for-bit — labels
+	// and every counter.
+	gotLabels, gotCounters := evalBounded(t, loaded, sub, 2)
+	if !reflect.DeepEqual(gotLabels, wantLabels) {
+		t.Error("loaded design's bounded labels diverge from the saved design")
+	}
+	if !reflect.DeepEqual(gotCounters, wantCounters) {
+		t.Errorf("loaded design's bounded counters diverge:\n got  %v\n want %v", gotCounters, wantCounters)
+	}
+
+	// Version-1 compatibility: strip the tables, mark the snapshot v1,
+	// and confirm the load rebuilds them with identical behavior.
+	var snap designSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 1
+	for ci := range snap.Convs {
+		for bi := range snap.Convs[ci].Blocks {
+			b := &snap.Convs[ci].Blocks[bi]
+			b.BndStride, b.BndPos, b.BndNeg, b.BndAbs, b.BndSlack = 0, nil, nil, nil, nil
+		}
+	}
+	var v1 bytes.Buffer
+	if err := gob.NewEncoder(&v1).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	v1Loaded, err := LoadDesign(bytes.NewReader(v1.Bytes()), 1)
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	v1Labels, v1Counters := evalBounded(t, v1Loaded, sub, 2)
+	if !reflect.DeepEqual(v1Labels, wantLabels) || !reflect.DeepEqual(v1Counters, wantCounters) {
+		t.Error("version-1 load (rebuilt tables) diverges from the saved design's bounded run")
 	}
 }
 

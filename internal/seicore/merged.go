@@ -23,7 +23,8 @@ type MergedLayer struct {
 	eff       *tensor.Tensor // [N, M] effective real weights
 	model     rram.DeviceModel
 	readNoise *rand.Rand
-	hw        *obs.HW // hardware-event counters; nil = not instrumented
+	hw        *obs.HW     // hardware-event counters; nil = not instrumented
+	skip      *obs.SkipHW // bounded-mode skip counters (stage 0 pool-crop skips)
 }
 
 // NewMergedLayer programs the matrix w [N,M] into the baseline
@@ -83,10 +84,12 @@ func (l *MergedLayer) Eval(in []float64) []float64 {
 // by the fast-path dispatch): outputs are written into out (len M)
 // with MatVecTInto, whose accumulation order is bit-identical to the
 // MatVecT call inside Eval. Hardware counters are recorded exactly as
-// Eval records them.
-func (l *MergedLayer) evalIdealInto(in, out []float64) {
+// Eval records them. Returns the active-input count for the bounded
+// path's row accounting (0 when uninstrumented — only the bounded
+// path, which requires instrumentation to be useful, reads it).
+func (l *MergedLayer) evalIdealInto(in, out []float64) int {
+	ones := 0
 	if h := l.hw; h != nil {
-		ones := 0
 		for _, x := range in {
 			if x != 0 {
 				ones++
@@ -97,6 +100,7 @@ func (l *MergedLayer) evalIdealInto(in, out []float64) {
 		h.ActiveInputs(int64(ones))
 	}
 	tensor.MatVecTInto(out, l.eff, in)
+	return ones
 }
 
 // EffectiveWeights exposes the programmed effective matrix for

@@ -2,6 +2,7 @@ package seicore
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"sei/internal/bitvec"
@@ -105,6 +106,11 @@ type seiBlock struct {
 	// testing one bit per row. Derived from inputs at construction and
 	// load; see initFast.
 	contig bool
+	// bnd is the runtime activation-bound suffix table (bounds.go);
+	// nil when the block can't be bounded (dynamic w0 column, too many
+	// columns). Built by SEIDesign.initBounds or restored from a
+	// snapshot; a function of eff only.
+	bnd *colBounds
 }
 
 // initFast derives the fast-path metadata from the block's input list.
@@ -200,7 +206,13 @@ type SEIConvLayer struct {
 	blocks []seiBlock
 	model  rram.DeviceModel
 	noise  *rand.Rand
-	hw     *obs.HW // hardware-event counters; nil = not instrumented
+	hw     *obs.HW     // hardware-event counters; nil = not instrumented
+	skip   *obs.SkipHW // activation-bound skip counters; nil = not instrumented
+	// approx enables the bounded walk on the noisy float path: bound
+	// decisions are exact for the ideal sums but approximate once read
+	// noise perturbs them, so this is opt-in (SetBoundedApprox) and
+	// reported with a measured accuracy delta.
+	approx bool
 
 	// Threshold is the layer's logical binarization threshold (from
 	// Algorithm 1), in weight·input units.
@@ -284,13 +296,47 @@ func gatherRows(w *tensor.Tensor, rows []int) *tensor.Tensor {
 }
 
 // Eval computes the layer's output bits for one 0/1 input vector.
+//
+// With the approximate bounded mode on (SetBoundedApprox), blocks with
+// a static reference and a built bound table run the bounded row walk
+// even under read noise: the bound decides against the *ideal* sums,
+// and noise is drawn only for the columns whose decision still needs
+// the analog value (in ascending column order — fewer RNG draws is
+// precisely the "work actually performed" semantics, and precisely the
+// approximation). Labels can therefore differ from the exact path;
+// cmd/seisim's bounded experiment measures the accuracy delta.
 func (l *SEIConvLayer) Eval(in []float64) []bool {
 	if len(in) != l.N {
 		panic(fmt.Sprintf("seicore: SEIConvLayer input length %d, want %d", len(in), l.N))
 	}
 	fired := make([]int, l.M)
+	var saCmps int64
 	for bi := range l.blocks {
 		b := &l.blocks[bi]
+		if l.approx && b.bnd != nil && b.w0 == nil && l.Gamma == 0 && l.model.IRDropAlpha == 0 {
+			ref := l.BaseThr[bi]
+			main, st := b.sumsBounded(in, l.M, ref)
+			l.hw.ActiveInputs(int64(st.ones))
+			firedMask := st.fired1
+			for t := st.undecided; t != 0; t &= t - 1 {
+				c := bits.TrailingZeros64(t)
+				s := main[c]
+				if l.noise != nil {
+					s *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
+				}
+				if s > ref {
+					firedMask |= 1 << uint(c)
+				}
+			}
+			for t := firedMask; t != 0; t &= t - 1 {
+				fired[bits.TrailingZeros64(t)]++
+			}
+			undec := bits.OnesCount64(st.undecided)
+			saCmps += int64(undec)
+			l.skip.Record(int64(st.ones), int64(st.skipped),
+				int64(bits.OnesCount64(colMask(l.M)&^st.undecided)), int64(st.evals), 0)
+			continue
+		}
 		main, w0sum, ones := b.sums(in, l.M)
 		l.hw.ActiveInputs(int64(ones))
 		l.applyAnalog(main, ones)
@@ -300,11 +346,12 @@ func (l *SEIConvLayer) Eval(in []float64) []bool {
 				fired[c]++
 			}
 		}
+		saCmps += int64(l.M)
 	}
 	if h := l.hw; h != nil {
 		h.MVM(int64(l.K))
-		h.SACompares(int64(l.K * l.M))
-		h.ColumnActivations(int64(l.K * l.M))
+		h.SACompares(saCmps)
+		h.ColumnActivations(saCmps)
 	}
 	out := make([]bool, l.M)
 	for c, f := range fired {

@@ -80,6 +80,18 @@ type slicedScratch struct {
 	scores []float64 // per-lane FC scores, lane-major [lane·M + c]
 	ones   []int32   // per-lane active-input count within one block
 	w0     []float64 // per-lane dynamic-column sum within one block
+
+	// Bounded-mode per-lane state (sliced_bounded.go): undecided column
+	// masks, bound-decided-1 masks and last-evaluated checkpoints within
+	// one block's walk, plus the cross-block output-undecided masks.
+	undec    []uint64
+	fired1   []uint64
+	lastCp   []int32
+	outUndec []uint64
+	// Stage-0 live/cropped window coverage split: coverLive counts the
+	// pool-covered kernel placements reading each pixel, coverSkip the
+	// pool-cropped ones (coverLive + coverSkip == cover).
+	coverLive, coverSkip []int32
 }
 
 // newSlicedScratch sizes an arena for d and precomputes the stage-0
@@ -135,7 +147,40 @@ func newSlicedScratch(d *SEIDesign) *slicedScratch {
 			s.cover[y*g.inW+x] = rows[y] * cols[x]
 		}
 	}
+	// Bounded-mode split of the same coverage into pool-covered and
+	// pool-cropped placements (separable like cover itself: a window is
+	// live iff both its axes are).
+	liveRows := coverage1DLive(g.kh, g.stride, g.outH, g.pool, g.pooledH, g.inH)
+	liveCols := coverage1DLive(g.kw, g.stride, g.outW, g.pool, g.pooledW, g.inW)
+	s.coverLive = make([]int32, g.inH*g.inW)
+	s.coverSkip = make([]int32, g.inH*g.inW)
+	for y := 0; y < g.inH; y++ {
+		for x := 0; x < g.inW; x++ {
+			live := liveRows[y] * liveCols[x]
+			s.coverLive[y*g.inW+x] = live
+			s.coverSkip[y*g.inW+x] = s.cover[y*g.inW+x] - live
+		}
+	}
+	s.undec = make([]uint64, lanes)
+	s.fired1 = make([]uint64, lanes)
+	s.lastCp = make([]int32, lanes)
+	s.outUndec = make([]uint64, lanes)
 	return s
+}
+
+// coverage1DLive is coverage1D restricted to kernel placements the
+// floor-division pool grid keeps along one axis.
+func coverage1DLive(k, stride, outN, pool, pooledN, in int) []int32 {
+	c := make([]int32, in)
+	for o := 0; o < outN; o++ {
+		if pool > 1 && o/pool >= pooledN {
+			continue
+		}
+		for d := 0; d < k; d++ {
+			c[o*stride+d]++
+		}
+	}
+	return c
 }
 
 // coverage1D counts, per input coordinate, how many of the outN kernel
@@ -215,6 +260,10 @@ func (d *SEIDesign) PredictBatchSliced(imgs []*tensor.Tensor, out []nn.PredictRe
 // predictSliced runs the full bit-sliced forward pass. The caller owns
 // s for the duration of the call and has validated the input shapes.
 func (d *SEIDesign) predictSliced(imgs []*tensor.Tensor, out []nn.PredictResult, s *slicedScratch) {
+	if d.bounded {
+		d.predictSlicedBounded(imgs, out, s)
+		return
+	}
 	q := d.Q
 	lanes := len(imgs)
 

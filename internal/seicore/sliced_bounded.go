@@ -1,0 +1,391 @@
+package seicore
+
+// The bounded variant of the bit-sliced batch path. Per 64-image word
+// it tracks a per-lane undecided column mask and replays the per-image
+// bounded walk (fast_bounded.go / bounds.go) lane by lane: each lane's
+// checkpoint triggers at that lane's own next active row, a row's
+// AddRowLanes drive is masked down to the lanes still undecided, and a
+// word goes untouched once every lane of its block has decided. The
+// same pool-crop skip applies wholesale, with stage 0 using the
+// live/cropped coverage split tables.
+//
+// Parity contract (pinned by TestBoundedSlicedMatchesBoundedFast):
+// labels, hw_* counter totals AND sei_* skip-counter totals are
+// bit-identical to per-image bounded Predict over the same images —
+// the bounded analogue of the unbounded sliced path's contract. The
+// walk below mirrors sumsBitsBounded decision for decision: a column
+// decides at exactly the same scan point on either engine because both
+// call vecf.BoundCols with identical partial sums and tables.
+
+import (
+	"math/bits"
+
+	"sei/internal/nn"
+	"sei/internal/tensor"
+	"sei/internal/vecf"
+)
+
+// predictSlicedBounded runs the bit-sliced forward pass with the
+// activation-bound and pool-crop skips. The caller owns s and has
+// validated the input shapes.
+func (d *SEIDesign) predictSlicedBounded(imgs []*tensor.Tensor, out []nn.PredictResult, s *slicedScratch) {
+	q := d.Q
+	lanes := len(imgs)
+	batchMask := ^uint64(0)
+	if lanes < vecf.Lanes {
+		batchMask = 1<<uint(lanes) - 1
+	}
+
+	// Stage 0: the compute loops already skip pool-cropped positions
+	// (their outputs are unreadable); bounded mode additionally stops
+	// charging them — active inputs split into driven (live coverage)
+	// and skipped (cropped coverage), MVM/column counts drop to the
+	// live placements.
+	g := &s.geom[0]
+	mapLen := g.filters * g.pooledH * g.pooledW
+	cur := s.cur[:mapLen]
+	for i := range cur {
+		cur[i] = 0
+	}
+	d.slicedStage0(imgs, s, cur)
+	plane := g.inH * g.inW
+	var driven0, skipped0 int64
+	for p, w := range s.nz[:g.inC*plane] {
+		if w != 0 {
+			cnt := int64(bits.OnesCount64(w))
+			driven0 += cnt * int64(s.coverLive[p%plane])
+			skipped0 += cnt * int64(s.coverSkip[p%plane])
+		}
+	}
+	if h := d.Input.hw; h != nil {
+		liveH, liveW := g.outH, g.outW
+		if g.pool > 1 {
+			liveH, liveW = g.pooledH*g.pool, g.pooledW*g.pool
+		}
+		livePos := int64(liveH * liveW)
+		h.MVM(livePos * int64(lanes))
+		h.ColumnActivations(livePos * int64(g.filters) * int64(lanes))
+		h.ActiveInputs(driven0)
+	}
+	d.Input.skip.Record(driven0, skipped0, 0, 0, 0)
+	if g.pool > 1 {
+		q.CountORPool(int64(lanes) * int64(mapLen))
+	}
+
+	// Deeper SEI stages: pool-crop skip plus the per-lane bounded walk.
+	for l := 1; l < len(q.Convs); l++ {
+		layer := d.Convs[l-1]
+		g := &s.geom[l]
+		in := s.cur
+		outMap := s.next[:g.filters*g.pooledH*g.pooledW]
+		for i := range outMap {
+			outMap[i] = 0
+		}
+		win := s.win[:g.fan]
+		fired := s.fired[:lanes*layer.M]
+		dthr := int32(layer.DigitalThreshold)
+		var cropSkip int64
+		for oy := 0; oy < g.outH; oy++ {
+			for ox := 0; ox < g.outW; ox++ {
+				py, px := oy, ox
+				cropped := false
+				if g.pool > 1 {
+					py /= g.pool
+					px /= g.pool
+					cropped = py >= g.pooledH || px >= g.pooledW
+				}
+				di := 0
+				for ch := 0; ch < g.inC; ch++ {
+					src := (ch*g.inH+oy*g.stride)*g.inW + ox*g.stride
+					for ky := 0; ky < g.kh; ky++ {
+						copy(win[di:di+g.kw], in[src:src+g.kw])
+						di += g.kw
+						src += g.inW
+					}
+				}
+				if cropped {
+					for _, w := range win {
+						cropSkip += int64(bits.OnesCount64(w & batchMask))
+					}
+					continue
+				}
+				layer.slicedCountsBounded(win, lanes, batchMask, s)
+				for k := 0; k < layer.M; k++ {
+					var w uint64
+					for lane := 0; lane < lanes; lane++ {
+						if fired[lane*layer.M+k] >= dthr {
+							w |= 1 << uint(lane)
+						}
+					}
+					if w != 0 {
+						outMap[(k*g.pooledH+py)*g.pooledW+px] |= w
+					}
+				}
+			}
+		}
+		if g.pool > 1 {
+			q.CountORPool(int64(lanes) * int64(g.filters*g.pooledH*g.pooledW))
+		}
+		if cropSkip > 0 {
+			layer.skip.Record(0, cropSkip, 0, 0, 0)
+		}
+		s.cur, s.next = s.next, s.cur
+	}
+
+	// FC stage: argmax readout, nothing to bound.
+	d.FC.slicedScores(s.cur, lanes, s)
+	m := d.FC.M
+	for lane := 0; lane < lanes; lane++ {
+		sc := s.scores[lane*m : lane*m+m]
+		best, bi := sc[0], 0
+		for i, v := range sc {
+			if v > best {
+				best, bi = v, i
+			}
+		}
+		out[lane] = nn.PredictResult{Label: bi}
+	}
+}
+
+// slicedCountsBounded is evalBoundedCounts over a lane-major window:
+// per participating lane the same blocks are bounded, full-scanned or
+// skipped wholesale, and every counter — hw_* and sei_* — aggregates
+// the per-lane events the per-image path would record.
+func (l *SEIConvLayer) slicedCountsBounded(win []uint64, lanes int, batchMask uint64, s *slicedScratch) {
+	if !l.boundable() {
+		l.slicedCounts(win, lanes, s)
+		if h := l.hw; h != nil {
+			h.MVM(int64(l.K) * int64(lanes))
+			h.SACompares(int64(l.K*l.M) * int64(lanes))
+			h.ColumnActivations(int64(l.K*l.M) * int64(lanes))
+		}
+		return
+	}
+	m := l.M
+	full := colMask(m)
+	fired := s.fired[:lanes*m]
+	for i := range fired {
+		fired[i] = 0
+	}
+	outUndec := s.outUndec[:lanes]
+	for lane := range outUndec {
+		outUndec[lane] = full
+	}
+	var mvms, saCmps, driven, skipped, colsEarly, evals, blocksSkipped int64
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		var part uint64
+		for lane := 0; lane < lanes; lane++ {
+			if outUndec[lane] != 0 {
+				part |= 1 << uint(lane)
+			}
+		}
+		nonPart := batchMask &^ part
+		blocksSkipped += int64(bits.OnesCount64(nonPart))
+		if part == 0 {
+			for _, j := range b.inputs {
+				skipped += int64(bits.OnesCount64(win[j] & batchMask))
+			}
+			continue
+		}
+		mvms += int64(bits.OnesCount64(part))
+		if b.bnd != nil && l.Gamma == 0 {
+			ref := l.BaseThr[bi]
+			d2, s2, c2, e2 := b.slicedSumsBounded(win, part, nonPart, ref, s)
+			driven += d2
+			skipped += s2
+			colsEarly += c2
+			evals += e2
+			l.hw.ActiveInputs(d2)
+			for t := part; t != 0; t &= t - 1 {
+				lane := bits.TrailingZeros64(t)
+				undec := s.undec[lane]
+				saCmps += int64(bits.OnesCount64(undec))
+				firedMask := s.fired1[lane]
+				a := s.acc[lane*m : lane*m+m]
+				for u := undec; u != 0; u &= u - 1 {
+					c := bits.TrailingZeros64(u)
+					if a[c] > ref {
+						firedMask |= 1 << uint(c)
+					}
+				}
+				f := fired[lane*m : lane*m+m]
+				for u := firedMask; u != 0; u &= u - 1 {
+					f[bits.TrailingZeros64(u)]++
+				}
+			}
+		} else {
+			// Dynamic reference (Gamma slope or unipolar w0 column):
+			// participating lanes scan in full, as per-image.
+			d2, s2 := b.slicedSumsMasked(win, part, nonPart, l.Gamma != 0, s)
+			driven += d2
+			skipped += s2
+			l.hw.ActiveInputs(d2)
+			for t := part; t != 0; t &= t - 1 {
+				lane := bits.TrailingZeros64(t)
+				ref := l.BaseThr[bi]
+				if l.Gamma != 0 {
+					ref += l.Gamma * (float64(s.ones[lane]) - l.OnesMean[bi])
+				}
+				if b.w0 != nil {
+					ref += s.w0[lane]
+				}
+				a := s.acc[lane*m : lane*m+m]
+				f := fired[lane*m : lane*m+m]
+				for c, v := range a {
+					if v > ref {
+						f[c]++
+					}
+				}
+				saCmps += int64(m)
+			}
+		}
+		if l.K > 1 {
+			rem := l.K - 1 - bi
+			for t := part; t != 0; t &= t - 1 {
+				lane := bits.TrailingZeros64(t)
+				f := fired[lane*m : lane*m+m]
+				var undec uint64
+				for u := outUndec[lane]; u != 0; u &= u - 1 {
+					c := bits.TrailingZeros64(u)
+					if int(f[c]) >= l.DigitalThreshold {
+						continue
+					}
+					if int(f[c])+rem < l.DigitalThreshold {
+						continue
+					}
+					undec |= 1 << uint(c)
+				}
+				outUndec[lane] = undec
+			}
+		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(mvms)
+		h.SACompares(saCmps)
+		h.ColumnActivations(saCmps)
+	}
+	l.skip.Record(driven, skipped, colsEarly, evals, blocksSkipped)
+}
+
+// slicedSumsBounded is sumsBitsBounded over a lane-major window: the
+// block's rows are walked once in ascending local order; per active
+// row each participating, still-undecided lane whose checkpoint
+// advanced evaluates the bound, then the row is driven only into the
+// lanes still alive. Active bits in decided lanes count skipped, bits
+// in non-participating lanes count toward their wholesale block skip.
+// Per-lane outcomes land in s.undec / s.fired1; partial sums in s.acc
+// equal the full scan's values for every undecided column.
+func (b *seiBlock) slicedSumsBounded(win []uint64, part, nonPart uint64, ref float64, s *slicedScratch) (driven, skipped, colsEarly, evals int64) {
+	cb := b.bnd
+	m := cb.m
+	acc := s.acc[:vecf.Lanes*m]
+	for i := range acc {
+		acc[i] = 0
+	}
+	full := colMask(m)
+	for t := part; t != 0; t &= t - 1 {
+		lane := bits.TrailingZeros64(t)
+		s.undec[lane] = full
+		s.fired1[lane] = 0
+		s.lastCp[lane] = -1
+	}
+	alive := part
+	data := b.eff.Data()
+	for local, j := range b.inputs {
+		w := win[j]
+		if w == 0 {
+			continue
+		}
+		skipped += int64(bits.OnesCount64(w & nonPart))
+		if alive == 0 {
+			skipped += int64(bits.OnesCount64(w & part))
+			continue
+		}
+		cp := int32(local / cb.stride)
+		base := int(cp) * m
+		for t := w & alive; t != 0; t &= t - 1 {
+			lane := bits.TrailingZeros64(t)
+			if s.lastCp[lane] >= cp {
+				continue
+			}
+			s.lastCp[lane] = cp
+			u := s.undec[lane]
+			evals += int64(bits.OnesCount64(u))
+			dec0, dec1 := vecf.BoundCols(acc[lane*m:lane*m+m],
+				cb.sufPos[base:base+m], cb.sufNeg[base:base+m], cb.sufAbs[base:base+m],
+				cb.slackU[cp], ref, u)
+			s.fired1[lane] |= dec1
+			u &^= dec0 | dec1
+			s.undec[lane] = u
+			if u == 0 {
+				alive &^= 1 << uint(lane)
+			}
+		}
+		aw := w & alive
+		driven += int64(bits.OnesCount64(aw))
+		skipped += int64(bits.OnesCount64(w & part &^ alive))
+		if aw != 0 {
+			vecf.AddRowLanes(acc, data[local*m:(local+1)*m], aw)
+		}
+	}
+	for t := part; t != 0; t &= t - 1 {
+		lane := bits.TrailingZeros64(t)
+		colsEarly += int64(bits.OnesCount64(full &^ s.undec[lane]))
+	}
+	return driven, skipped, colsEarly, evals
+}
+
+// slicedSumsMasked is slicedSums restricted to the participating
+// lanes: rows drive only lanes whose outputs are still undecided,
+// active bits in resolved lanes count toward their wholesale block
+// skip. Per-lane ones land in s.ones when needed (Gamma reference),
+// dynamic-column sums in s.w0 when the block carries them.
+func (b *seiBlock) slicedSumsMasked(win []uint64, part, nonPart uint64, needOnes bool, s *slicedScratch) (driven, skipped int64) {
+	m := b.eff.Dim(1)
+	acc := s.acc[:vecf.Lanes*m]
+	for i := range acc {
+		acc[i] = 0
+	}
+	dyn := b.w0 != nil
+	if dyn {
+		for i := range s.w0 {
+			s.w0[i] = 0
+		}
+	}
+	if needOnes {
+		for i := range s.ones {
+			s.ones[i] = 0
+		}
+	}
+	data := b.eff.Data()
+	for local, j := range b.inputs {
+		w := win[j]
+		if w == 0 {
+			continue
+		}
+		skipped += int64(bits.OnesCount64(w & nonPart))
+		pw := w & part
+		if pw == 0 {
+			continue
+		}
+		driven += int64(bits.OnesCount64(pw))
+		vecf.AddRowLanes(acc, data[local*m:(local+1)*m], pw)
+		if needOnes || dyn {
+			var w0v float64
+			if dyn {
+				w0v = b.w0[local]
+			}
+			for t := pw; t != 0; t &= t - 1 {
+				lane := bits.TrailingZeros64(t)
+				if needOnes {
+					s.ones[lane]++
+				}
+				if dyn {
+					s.w0[lane] += w0v
+				}
+			}
+		}
+	}
+	return driven, skipped
+}

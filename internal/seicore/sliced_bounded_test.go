@@ -1,0 +1,99 @@
+package seicore
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sei/internal/nn"
+)
+
+// TestBoundedSlicedMatchesBoundedFast pins the bounded sliced engine's
+// parity contract on every design shape and on full, partial and
+// single-lane batches: with SetBounded on, one PredictBatchSliced call
+// produces bit-identical labels AND bit-identical counter totals —
+// hw_* and sei_* alike — to per-image bounded Predict calls.
+func TestBoundedSlicedMatchesBoundedFast(t *testing.T) {
+	f := getFixture(t)
+	perm := rand.New(rand.NewSource(11)).Perm(36)
+	cases := []struct {
+		name string
+		cfg  func() SEIBuildConfig
+	}{
+		{"default-bipolar", func() SEIBuildConfig {
+			cfg := DefaultSEIBuildConfig()
+			cfg.DynamicThreshold = false
+			return cfg
+		}},
+		{"split-contiguous", func() SEIBuildConfig {
+			cfg := DefaultSEIBuildConfig()
+			cfg.Layer.MaxCrossbar = 16
+			cfg.DynamicThreshold = false
+			return cfg
+		}},
+		{"split-permuted-order", func() SEIBuildConfig {
+			cfg := DefaultSEIBuildConfig()
+			cfg.Layer.MaxCrossbar = 16
+			cfg.Orders = [][]int{nil, perm}
+			cfg.DynamicThreshold = false
+			return cfg
+		}},
+		{"unipolar-dynamic", func() SEIBuildConfig {
+			cfg := DefaultSEIBuildConfig()
+			cfg.Layer.Mode = ModeUnipolarDynamic
+			cfg.DynamicThreshold = false
+			return cfg
+		}},
+		{"calibrated-split", func() SEIBuildConfig {
+			cfg := DefaultSEIBuildConfig()
+			cfg.Layer.MaxCrossbar = 16
+			cfg.CalibImages = 10
+			cfg.CalibPositions = 8
+			return cfg
+		}},
+	}
+	imgs := f.test.Images
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := BuildSEI(f.q, f.train, tc.cfg(), rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.SetBounded(true)
+			defer d.SetBounded(false)
+			for _, lanes := range []int{1, 2, 63, 64} {
+				batch := imgs[:lanes]
+				sLabels, sCounters := evalSliced(t, d, batch)
+				pLabels, pCounters := evalPerImage(t, d, batch)
+				if !reflect.DeepEqual(sLabels, pLabels) {
+					t.Errorf("lanes=%d: bounded sliced labels diverge from per-image bounded path", lanes)
+				}
+				if !reflect.DeepEqual(sCounters, pCounters) {
+					t.Errorf("lanes=%d: bounded counters diverge:\n sliced    %v\n per-image %v", lanes, sCounters, pCounters)
+				}
+			}
+		})
+	}
+}
+
+// TestBoundedSlicedZeroAllocs pins that the bounded sliced path stays
+// allocation-free in steady state.
+func TestBoundedSlicedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool is lossy under -race; allocation counts are not meaningful")
+	}
+	f := getFixture(t)
+	cfg := DefaultSEIBuildConfig()
+	cfg.DynamicThreshold = false
+	d, err := BuildSEI(f.q, nil, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetBounded(true)
+	defer d.SetBounded(false)
+	imgs := f.test.Images[:64]
+	res := make([]nn.PredictResult, 64)
+	if avg := testing.AllocsPerRun(50, func() { d.PredictBatchSliced(imgs, res) }); avg != 0 {
+		t.Errorf("bounded sliced batch allocates %.1f objects per call, want 0", avg)
+	}
+}

@@ -1,0 +1,48 @@
+package vecf
+
+import "math/bits"
+
+// The runtime activation-bound decision kernel shared by the per-image
+// and bit-sliced SEI fast paths (seicore/bounds.go). Both engines call
+// this one function with the same partial sums, suffix tables and
+// slack, so a column decides at exactly the same scan point on either
+// path — the property the bounded-mode counter-parity contract rests
+// on. Pure Go on every architecture: the kernel is a short masked
+// reduction over at most 64 columns, not a lane-dense hot loop.
+
+// BoundCols evaluates the early-termination bound for every column
+// whose bit is set in undecided, over one crossbar block's partial
+// column sums. For column c it computes the float-safety slack
+//
+//	slack = slackU · (|acc[c]| + sufAbs[c])
+//
+// and decides
+//
+//	emit 0  when  acc[c] + sufPos[c] + slack ≤ ref   (can never fire)
+//	emit 1  when  acc[c] + sufNeg[c] − slack  > ref   (must fire)
+//
+// where sufPos/sufNeg bound the best/worst remaining contribution of
+// the unscanned rows and slackU absorbs the rounding error of both the
+// remaining float accumulation and the table construction (see
+// seicore/bounds.go for the derivation). Columns deciding 0 are
+// returned in dec0, columns deciding 1 in dec1; bits outside undecided
+// are never set. len(sufPos), len(sufNeg) and len(sufAbs) must each be
+// at least the index of undecided's highest set bit plus one.
+func BoundCols(acc, sufPos, sufNeg, sufAbs []float64, slackU, ref float64, undecided uint64) (dec0, dec1 uint64) {
+	for t := undecided; t != 0; t &= t - 1 {
+		c := bits.TrailingZeros64(t)
+		a := acc[c]
+		abs := a
+		if abs < 0 {
+			abs = -abs
+		}
+		slack := slackU * (abs + sufAbs[c])
+		switch {
+		case a+sufPos[c]+slack <= ref:
+			dec0 |= 1 << uint(c)
+		case a+sufNeg[c]-slack > ref:
+			dec1 |= 1 << uint(c)
+		}
+	}
+	return dec0, dec1
+}
