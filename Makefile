@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-quant bench-smoke bench-scaling bench-report vet fmt ci
+.PHONY: build test race bench bench-json bench-quant bench-smoke bench-scaling bench-report vet staticcheck fmt ci
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Machine-readable record of the inference fast paths. Thin wrapper
-# over the seibench front door: one trend-gated report under
-# bench-reports/ replaces the legacy ad-hoc BENCH_PR*.json flow
-# (cmd/benchjson is deprecated; old BENCH_PR*.json files remain as
-# recorded history and are not regenerated).
+# Machine-readable record of the inference fast paths. Pure alias for
+# the seibench front door: one trend-gated report under bench-reports/
+# replaces the retired ad-hoc BENCH_PR*.json flow (the recorded files
+# live in bench-reports/history/ and are not regenerated).
 bench-json:
 	$(GO) run ./cmd/seibench run inference
 
@@ -59,12 +58,23 @@ bench-scaling:
 vet:
 	$(GO) vet ./...
 
+# Runs staticcheck when it is on PATH and is a no-op otherwise, so
+# `make ci` works on machines without it while CI (which installs it)
+# always gets the full check.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 fmt:
 	gofmt -l -w .
 
 # Exactly what the GitHub Actions workflow runs.
 ci:
 	$(GO) vet ./...
+	$(MAKE) staticcheck
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs ./internal/par ./internal/serve ./internal/load ./internal/seicore ./internal/nn ./internal/vecf

@@ -8,7 +8,8 @@ package sei
 // design to the float path so the pair measures the fast-path speedup
 // directly; BenchmarkSEIPredictBatchSliced measures the 64-images-per-
 // word path against BenchmarkSEIPredict's per-image cost. `make
-// bench-json` records all of them plus allocs/op in BENCH_PR6.json.
+// bench-json` records all of them plus allocs/op in a trend-gated
+// bench-reports/ report (historic figures: bench-reports/history/).
 
 import (
 	"math/rand"
@@ -35,7 +36,7 @@ func benchSEIDesign(b testing.TB) *seicore.SEIDesign {
 
 // BenchmarkSEIPredictFloat is BenchmarkSEIPredict with the fast path
 // disabled: the pre-packing float implementation, the baseline for the
-// speedup number in BENCH_PR4.json.
+// speedup number in bench-reports/history/BENCH_PR4.json.
 func BenchmarkSEIPredictFloat(b *testing.B) {
 	d := benchSEIDesign(b)
 	d.SetFastPath(false)
@@ -80,7 +81,7 @@ func BenchmarkSEIPredictBatch(b *testing.B) {
 // machine word. The image count is trimmed to a multiple of 64 so every
 // group takes the sliced kernel and images/sec is the pure lane-
 // parallel throughput (compared against BenchmarkSEIPredict's
-// per-image cost as sei_batch_sliced_speedup_x in BENCH_PR6.json).
+// per-image cost as sei_batch_sliced_speedup_x in bench-reports/history/BENCH_PR6.json).
 func BenchmarkSEIPredictBatchSliced(b *testing.B) {
 	d := benchSEIDesign(b)
 	imgs := benchContext(b).Test.Images
@@ -147,6 +148,55 @@ func BenchmarkSEIPredictBatchSlicedBounded(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N*len(imgs))/b.Elapsed().Seconds(), "images/sec")
+}
+
+// benchNoisySEIDesign is benchSEIDesign with per-column read noise
+// (sigma 0.05, the Table-5 robustness configuration): the fixture for
+// the packed non-ideal path benchmarks (DESIGN.md §17).
+func benchNoisySEIDesign(b testing.TB) *seicore.SEIDesign {
+	b.Helper()
+	c := benchContext(b)
+	q := c.QuantizedCalibrated(2)
+	cfg := seicore.DefaultSEIBuildConfig()
+	cfg.DynamicThreshold = false
+	cfg.Layer.Model.ReadNoiseSigma = 0.05
+	d, err := seicore.BuildSEI(q, nil, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSEIPredictNoisy measures the packed non-ideal path: column
+// popcount sums with read noise applied as a separate vectorized pass.
+// Bit-identical to BenchmarkSEIPredictNoisyFloat's labels; the ratio
+// of the two is the Monte Carlo campaign speedup the seibench noisy
+// suite gates as sei_noisy_speedup_x.
+func BenchmarkSEIPredictNoisy(b *testing.B) {
+	d := benchNoisySEIDesign(b)
+	img := benchContext(b).Test.Images[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Predict(img)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images/sec")
+}
+
+// BenchmarkSEIPredictNoisyFloat pins the same noisy design to the
+// float path: the pre-packing baseline the noisy speedup is measured
+// against.
+func BenchmarkSEIPredictNoisyFloat(b *testing.B) {
+	d := benchNoisySEIDesign(b)
+	d.SetFastPath(false)
+	defer d.SetFastPath(true)
+	img := benchContext(b).Test.Images[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Predict(img)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "images/sec")
 }
 
 // TestSEIPredictBatchSlicedZeroAllocs is the engine-level allocation

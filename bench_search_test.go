@@ -7,7 +7,7 @@ package sei
 // pre-engine reference on the bench context's Network 2 (the network
 // the Table 4/5 benches run), so the ratio is the engine speedup;
 // `make bench-quant` records all three plus allocs/op and the derived
-// speedup in BENCH_PR5.json.
+// speedup in bench-reports/history/BENCH_PR5.json.
 
 import (
 	"testing"
@@ -57,7 +57,7 @@ func BenchmarkSearchThresholds(b *testing.B) {
 // BenchmarkSearchThresholdsNaive measures the retained pre-engine
 // reference (full remainder forward pass per candidate × sample, fresh
 // buffers per call) — the baseline for the speedup and allocation
-// numbers in BENCH_PR5.json.
+// numbers in bench-reports/history/BENCH_PR5.json.
 func BenchmarkSearchThresholdsNaive(b *testing.B) {
 	benchSearch(b, quant.SearchThresholdsReference)
 }

@@ -464,7 +464,7 @@ func BenchmarkQuantizedForward(b *testing.B) {
 // default dispatch (the bit-packed fast path for the ideal-analog
 // default device). allocs/op must be 0 — the zero-allocation contract
 // of the fast path; BenchmarkSEIPredictFloat in bench_predict_test.go
-// is the float-path baseline it is compared against in BENCH_PR4.json.
+// is the float-path baseline it is compared against in bench-reports/history/BENCH_PR4.json.
 func BenchmarkSEIPredict(b *testing.B) {
 	c := benchContext(b)
 	q := c.QuantizedCalibrated(2)

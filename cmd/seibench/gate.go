@@ -39,6 +39,9 @@ var headlineMetrics = []headlineMetric{
 	{"serve_p99_ms", lowerIsBetter, "ms"},
 	{"pj_per_inference", lowerIsBetter, "pJ"},
 	{"sei_skip_rate", higherIsBetter, "ratio"},
+	{"noisy_images_per_sec", higherIsBetter, "images/sec"},
+	{"sei_noisy_speedup_x", higherIsBetter, "x"},
+	{"pj_per_inference_noisy", lowerIsBetter, "pJ"},
 }
 
 // findingStatus classifies one metric's base→current movement.

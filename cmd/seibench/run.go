@@ -35,7 +35,7 @@ type runConfig struct {
 }
 
 // allSuites is every suite `seibench run` knows, in execution order.
-var allSuites = []string{"inference", "search", "serve", "energy"}
+var allSuites = []string{"inference", "search", "serve", "energy", "noisy"}
 
 // benchPattern maps the requested suites onto a -bench regex; the
 // inference and search suites share one `go test` invocation (and thus
@@ -44,6 +44,9 @@ func benchPattern(suites map[string]bool) string {
 	var names []string
 	if suites["inference"] {
 		names = append(names, "BenchmarkSEIPredict", "BenchmarkSEIPredictBatchSliced")
+	}
+	if suites["noisy"] {
+		names = append(names, "BenchmarkSEIPredictNoisy")
 	}
 	if suites["search"] {
 		names = append(names, "BenchmarkSearchThresholds")
@@ -107,6 +110,7 @@ func runBenchSuite(cfg runConfig, stderr io.Writer) (*benchparse.Report, error) 
 // model quality.
 type pipeline struct {
 	design *seicore.SEIDesign
+	q      *quant.QuantizedNet
 	test   *mnist.Dataset
 }
 
@@ -136,7 +140,94 @@ func buildPipeline(cfg runConfig, stderr io.Writer) (*pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("build SEI: %w", err)
 	}
-	return &pipeline{design: d, test: test}, nil
+	return &pipeline{design: d, q: q, test: test}, nil
+}
+
+// runNoisySuite measures the packed non-ideal path (DESIGN.md §17) on
+// a Table-5-style read-noise variant of the fixture (per-column sigma
+// 0.05): the float path and the packed path evaluate the same noisy
+// design — bit-identical by contract, re-checked here label for label
+// — and the wall-clock ratio is the trend-gated Monte Carlo speedup.
+// The timed passes run uninstrumented, the configuration Monte Carlo
+// campaigns actually use (counter bumps cost the fast path a larger
+// fraction than the slow one and would understate the ratio); a third,
+// instrumented packed pass supplies the draw ledger and the noisy
+// pJ/inference, which must match the ideal figure's accounting (noise
+// draws are simulator bookkeeping, not energy events).
+func runNoisySuite(cfg runConfig, p *pipeline, rep *Report, stderr io.Writer) error {
+	bcfg := seicore.DefaultSEIBuildConfig()
+	bcfg.DynamicThreshold = false
+	bcfg.Layer.Model.ReadNoiseSigma = 0.05
+	d, err := seicore.BuildSEI(p.q, nil, bcfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return fmt.Errorf("build noisy SEI: %w", err)
+	}
+	images := len(p.test.Images)
+	run := func(packed, instrument bool) ([]int, float64, map[string]int64, error) {
+		var rec *obs.Recorder
+		if instrument {
+			rec = obs.New()
+		}
+		d.Instrument(rec)
+		d.SetFastPath(packed)
+		start := time.Now()
+		res := nn.PredictBatchObs(rec, d, p.test.Images, 0)
+		sec := time.Since(start).Seconds()
+		d.SetFastPath(true)
+		d.Instrument(nil)
+		labels := make([]int, len(res))
+		for i, r := range res {
+			if r.Err != nil {
+				return nil, 0, nil, fmt.Errorf("noisy predict image %d: %w", i, r.Err)
+			}
+			labels[i] = r.Label
+		}
+		var counters map[string]int64
+		if rec != nil {
+			counters = rec.CounterValues()
+		}
+		return labels, sec, counters, nil
+	}
+	fmt.Fprintf(stderr, "seibench: noisy suite — float path over %d images (sigma=0.05)\n", images)
+	floatLabels, floatSec, _, err := run(false, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "seibench: noisy suite — packed non-ideal path\n")
+	packedLabels, packedSec, _, err := run(true, false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "seibench: noisy suite — instrumented packed pass (counters)\n")
+	ledgerLabels, _, counters, err := run(true, true)
+	if err != nil {
+		return err
+	}
+	for i := range packedLabels {
+		if packedLabels[i] != ledgerLabels[i] {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("noisy suite: instrumented packed pass diverged at image %d (bug: counters must not change labels)", i))
+			break
+		}
+	}
+	for i := range floatLabels {
+		if floatLabels[i] != packedLabels[i] {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("noisy suite: packed path diverged from float path at image %d (bug: must be bit-identical)", i))
+			break
+		}
+	}
+	if packedSec > 0 {
+		rep.Metrics["noisy_images_per_sec"] = float64(images) / packedSec
+		rep.Metrics["sei_noisy_speedup_x"] = floatSec / packedSec
+	}
+	rec := obs.Report{Name: "seibench-noisy", Counters: counters}
+	if pj, err := power.EnergyPerInferencePJ(rec, power.DefaultLibrary(), int64(images)); err == nil {
+		rep.Metrics["pj_per_inference_noisy"] = pj
+	}
+	rep.Derived["noisy_float_images_per_sec"] = float64(images) / floatSec
+	rep.Derived["sei_noise_draws"] = float64(counters[obs.SEINoiseDraws])
+	return nil
 }
 
 // serveMixSizes are the multi-image request shapes the steady serve
@@ -386,6 +477,8 @@ func runAll(cfg runConfig, now time.Time, stderr io.Writer) (*Report, error) {
 			}
 		case "SEIPredictBatchSliced":
 			rep.Metrics["images_per_sec"] = b.Metrics["images/sec"]
+		case "SEIPredictNoisy":
+			rep.Metrics["noisy_predict_ns_per_op"] = b.Metrics["ns/op"]
 		case "SearchThresholds":
 			rep.Metrics["search_ns_per_op"] = b.Metrics["ns/op"]
 			if v, ok := b.Metrics["allocs/op"]; ok {
@@ -398,7 +491,7 @@ func runAll(cfg runConfig, now time.Time, stderr io.Writer) (*Report, error) {
 		rep.Notes = append(rep.Notes, "git SHA unavailable")
 	}
 
-	if cfg.Suites["serve"] || cfg.Suites["energy"] {
+	if cfg.Suites["serve"] || cfg.Suites["energy"] || cfg.Suites["noisy"] {
 		p, err := buildPipeline(cfg, stderr)
 		if err != nil {
 			return nil, err
@@ -424,6 +517,11 @@ func runAll(cfg runConfig, now time.Time, stderr io.Writer) (*Report, error) {
 		}
 		if cfg.Suites["energy"] {
 			if err := runEnergySuite(cfg, p, rep, stderr); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Suites["noisy"] {
+			if err := runNoisySuite(cfg, p, rep, stderr); err != nil {
 				return nil, err
 			}
 		}

@@ -59,6 +59,7 @@ type options struct {
 	maxDelay time.Duration
 	queueCap int
 	workers  int
+	retain   int
 	timeout  time.Duration
 	drain    time.Duration
 }
@@ -78,6 +79,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&opt.maxDelay, "max-delay", 2*time.Millisecond, "most time a predict waits for batch companions")
 	fs.IntVar(&opt.queueCap, "queue", 256, "pending-predict queue bound; beyond it requests get 429")
 	fs.IntVar(&opt.workers, "workers", 0, cliutil.WorkersUsage)
+	fs.IntVar(&opt.retain, "retain", serve.DefaultRetain,
+		"live generations kept per design: the two newest route traffic, older ones stay pinnable via ?generation=")
 	fs.DurationVar(&opt.timeout, "timeout", serve.DefaultTimeout, "per-request predict deadline")
 	fs.DurationVar(&opt.drain, "drain", 10*time.Second, "shutdown drain bound after SIGTERM/SIGINT")
 	if err := fs.Parse(args); err != nil {
@@ -114,6 +117,7 @@ func buildDemo(seed int64) nn.Classifier {
 func run(opt *options, stdout io.Writer, ready func(addr string)) error {
 	rec := obs.New()
 	reg := serve.NewRegistry(opt.designs, opt.seed)
+	reg.SetRetain(opt.retain)
 	if opt.demo {
 		fmt.Fprintln(stdout, "seiserve: training demo classifier")
 		reg.Register("demo", buildDemo(opt.seed))

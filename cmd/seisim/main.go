@@ -19,6 +19,7 @@
 //	timing      latency/throughput and the replica trade-off (Section 5.3)
 //	map         per-layer floorplan with measured-activity energy
 //	bounded     runtime activation-bound study: skip rates, energy, approx delta
+//	noisy       packed non-ideal inference study: speedup, draw ledger, approx delta
 //	pareto      device precision/variation Pareto frontier
 //	vgg         VGG-19 motivation numbers (Section 2.3)
 //	verilog     golden digital RTL of the SEI stages (internal/hdl)
@@ -270,6 +271,12 @@ func run(what string, cfg experiments.Config, netID int, sizes []int) error {
 		}
 	case "bounded":
 		res, err := experiments.BoundedStudy(c, netID)
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "noisy":
+		res, err := experiments.NoisyStudy(c, netID)
 		if err != nil {
 			return err
 		}

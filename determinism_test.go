@@ -434,6 +434,106 @@ func TestSlicedPathThreeWayDeterminism(t *testing.T) {
 	}
 }
 
+// The packed non-ideal path (internal/seicore/fastnoisy.go) and the
+// float path are two implementations of the noisy prediction contract:
+// for a linearly non-ideal design — read noise (per-column or
+// per-cell) and/or IR drop — labels, hardware-counter totals AND the
+// RNG-consumption ledger (sei_noise_draws) must be bit-identical
+// between the paths, at every worker count, on split/permuted and
+// unipolar-dynamic designs. Counter equality is the strong form of the
+// contract: equal sei_noise_draws totals at equal per-chunk seeds mean
+// the two paths consumed identical noise-stream prefixes, not merely
+// noise that happened to round to the same labels.
+func TestNoisyPackedPathWorkerCountInvariant(t *testing.T) {
+	train, test := mnist.SyntheticSplit(300, 120, 7)
+	net := nn.NewTableNetwork(1, 7)
+	tcfg := nn.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	tcfg.Seed = 7
+	nn.Train(net, train, tcfg)
+	scfg := quant.DefaultSearchConfig()
+	scfg.Samples = 120
+	q, _, err := quant.QuantizeNetwork(net, train, []int{1, 28, 28}, scfg)
+	if err != nil {
+		t.Fatalf("quantize: %v", err)
+	}
+	perm := rand.New(rand.NewSource(13)).Perm(q.Convs[1].FanIn())
+	designs := map[string]func() seicore.SEIBuildConfig{
+		"per-column-split-permuted": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.Layer.MaxCrossbar = 128
+			cfg.Layer.Model.ReadNoiseSigma = 0.05
+			cfg.Orders = [][]int{nil, perm}
+			cfg.DynamicThreshold = false
+			return cfg
+		},
+		"per-cell-split": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.Layer.MaxCrossbar = 128
+			cfg.Layer.Model.ReadNoiseSigma = 0.05
+			cfg.Layer.Model.ReadNoisePerCell = true
+			cfg.DynamicThreshold = false
+			return cfg
+		},
+		"unipolar-per-cell-ir": func() seicore.SEIBuildConfig {
+			cfg := seicore.DefaultSEIBuildConfig()
+			cfg.Layer.Mode = seicore.ModeUnipolarDynamic
+			cfg.Layer.Model.ReadNoiseSigma = 0.05
+			cfg.Layer.Model.ReadNoisePerCell = true
+			cfg.Layer.Model.IRDropAlpha = 0.05
+			cfg.DynamicThreshold = false
+			return cfg
+		},
+	}
+	for name, mk := range designs {
+		t.Run(name, func(t *testing.T) {
+			d, err := seicore.BuildSEI(q, nil, mk(), rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatalf("build SEI: %v", err)
+			}
+			run := func(packed bool, workers int) ([]int, map[string]int64) {
+				rec := obs.New()
+				d.Instrument(rec)
+				q.Instrument(rec)
+				d.SetFastPath(packed)
+				defer func() {
+					d.Instrument(nil)
+					q.Instrument(nil)
+					d.SetFastPath(true)
+				}()
+				res := nn.PredictBatchObs(rec, d, test.Images, workers)
+				labels := make([]int, len(res))
+				for i, r := range res {
+					if r.Err != nil {
+						t.Fatalf("packed=%v workers=%d image %d: %v", packed, workers, i, r.Err)
+					}
+					labels[i] = r.Label
+				}
+				return labels, comparablePredictCounters(rec.CounterValues())
+			}
+			baseLabels, baseCounters := run(true, 1)
+			if baseCounters[obs.SEINoiseDraws] == 0 {
+				t.Fatalf("noisy evaluation recorded zero sei_noise_draws")
+			}
+			for _, workers := range []int{1, 2, 8} {
+				for _, packed := range []bool{true, false} {
+					if packed && workers == 1 {
+						continue // the baseline itself
+					}
+					labels, counters := run(packed, workers)
+					if !reflect.DeepEqual(labels, baseLabels) {
+						t.Errorf("packed=%v workers=%d: labels diverge from packed serial baseline", packed, workers)
+					}
+					if !reflect.DeepEqual(counters, baseCounters) {
+						t.Errorf("packed=%v workers=%d: counters diverge:\n got  %v\n want %v",
+							packed, workers, counters, baseCounters)
+					}
+				}
+			}
+		})
+	}
+}
+
 // Runtime activation bounds (internal/seicore/bounds.go) add a fourth
 // implementation of the prediction contract: the bounded fast path
 // must be label-identical to the unbounded fast path and the float

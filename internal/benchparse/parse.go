@@ -3,8 +3,9 @@
 // value/unit pair (ns/op, B/op, allocs/op, custom b.ReportMetric units
 // such as images/sec), the goos/goarch/pkg/cpu header, and derived
 // cross-benchmark ratios for the repo's known baseline/optimized
-// pairs. It is shared by cmd/benchjson (the BENCH_PR*.json converter)
-// and cmd/seibench (the benchmark front door).
+// pairs. It is the parser behind cmd/seibench (the benchmark front
+// door) and produced the recorded bench-reports/history/BENCH_PR*.json
+// evidence files of the early optimization PRs.
 package benchparse
 
 import (

@@ -316,3 +316,28 @@ func TestEfficiencyComparison(t *testing.T) {
 		t.Fatal("Print output missing baselines")
 	}
 }
+
+func TestNoisyStudy(t *testing.T) {
+	c := ctx(t)
+	res, err := NoisyStudy(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ColMatch {
+		t.Error("per-column packed path diverged from the float path")
+	}
+	if !res.CellMatch {
+		t.Error("per-cell packed path diverged from the float path")
+	}
+	if res.CellDraws == 0 || res.AggDraws == 0 {
+		t.Errorf("draw ledger empty: cell %d agg %d", res.CellDraws, res.AggDraws)
+	}
+	if res.AggDraws >= res.CellDraws {
+		t.Errorf("aggregated mode drew %d >= exact %d", res.AggDraws, res.CellDraws)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "IDENTICAL") || !strings.Contains(buf.String(), "aggregated") {
+		t.Fatal("Print output missing expected lines")
+	}
+}

@@ -25,6 +25,14 @@ const (
 	// HWActiveInputsPerMVM is the histogram of selected input lines
 	// per block evaluation.
 	HWActiveInputsPerMVM = "hw_active_inputs_per_mvm"
+	// SEINoiseDraws counts read-noise RNG draws consumed by the
+	// simulator — not a hardware event (analog noise is free) but the
+	// RNG-consumption ledger that lets two inference paths prove they
+	// replayed the same noise stream: equal totals at equal seeds mean
+	// identical stream prefixes. Per-column models draw one per column
+	// current; per-cell models one per selected cell; the aggregated
+	// approximation one per column from the summed variance.
+	SEINoiseDraws = "sei_noise_draws"
 )
 
 // activeInputBounds buckets the per-MVM selected-line distribution in
@@ -35,8 +43,8 @@ var activeInputBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024
 // Instrumented layers hold one pointer and pay a single nil check per
 // event when recording is disabled. All methods are no-ops on nil.
 type HW struct {
-	mvm, sa, col, active, orpool *Counter
-	activeHist                   *Histogram
+	mvm, sa, col, active, orpool, noise *Counter
+	activeHist                          *Histogram
 }
 
 func newHW(r *Recorder) *HW {
@@ -46,6 +54,7 @@ func newHW(r *Recorder) *HW {
 		col:        r.Counter(HWColumnActivations),
 		active:     r.Counter(HWActiveInputs),
 		orpool:     r.Counter(HWORPoolReductions),
+		noise:      r.Counter(SEINoiseDraws),
 		activeHist: r.Histogram(HWActiveInputsPerMVM, activeInputBounds),
 	}
 }
@@ -90,4 +99,12 @@ func (h *HW) ORPool(n int64) {
 		return
 	}
 	h.orpool.Add(n)
+}
+
+// NoiseDraws records n read-noise RNG draws.
+func (h *HW) NoiseDraws(n int64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.noise.Add(n)
 }

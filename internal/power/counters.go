@@ -33,6 +33,14 @@ const CellsPerWeight = 4
 // Buffer and DRAM traffic are not hardware-counter events (they are
 // geometry, not activity, dependent) and stay zero here; internal/arch
 // remains the accounting path for them.
+//
+// Noise-draw counts (sei_noise_draws) are deliberately NOT joined:
+// read noise is a physical property of the analog read the crossbar
+// already pays for, not an extra hardware event, so the counter is
+// simulator accounting only — the RNG-consumption ledger of the
+// packed non-ideal path (DESIGN.md §17). Two reports that differ only
+// in sei_noise_* totals yield identical Counts and identical energy,
+// pinned by TestNoiseCountersDoNotAffectEnergy.
 func CountsFromReport(rep obs.Report) (Counts, error) {
 	mvm := rep.Counters[obs.HWMVMOps]
 	if mvm == 0 {

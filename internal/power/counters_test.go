@@ -61,6 +61,40 @@ func TestCountsFromReportBoundEvals(t *testing.T) {
 	}
 }
 
+// TestNoiseCountersDoNotAffectEnergy pins that sei_noise_draws is
+// simulator accounting, not an energy event: read noise is a physical
+// property of the analog read the crossbar already pays for, so two
+// reports that differ only in sei_noise_* totals yield identical
+// Counts and identical energy.
+func TestNoiseCountersDoNotAffectEnergy(t *testing.T) {
+	quiet := counterReport(10, 160, 160, 500, 40)
+	noisy := counterReport(10, 160, 160, 500, 40)
+	noisy.Counters[obs.SEINoiseDraws] = 123456
+	cq, err := CountsFromReport(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := CountsFromReport(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq != cn {
+		t.Errorf("noise draws changed Counts: %+v vs %+v", cq, cn)
+	}
+	lib := DefaultLibrary()
+	bq, err := EnergyFromCounters(quiet, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bn, err := EnergyFromCounters(noisy, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bq != bn {
+		t.Errorf("noise draws changed energy: %+v vs %+v", bq, bn)
+	}
+}
+
 func TestCountsFromReportUninstrumented(t *testing.T) {
 	if _, err := CountsFromReport(obs.Report{Name: "empty", Counters: map[string]int64{}}); err == nil {
 		t.Fatal("want error for a report without hw counters")

@@ -175,7 +175,7 @@ func SearchThresholds(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (
 // SearchThresholdsReference runs Algorithm 1 with the retained naive
 // sweep: every candidate threshold re-binarizes every sample and runs
 // the full float remainder of the network. It is the verification
-// baseline the property tests and BENCH_PR5.json pin the incremental
+// baseline the property tests and bench-reports/history/BENCH_PR5.json pin the incremental
 // engine against, and matches the pre-engine implementation
 // bit-for-bit.
 func SearchThresholdsReference(q *QuantizedNet, train *mnist.Dataset, cfg SearchConfig) (*SearchReport, error) {

@@ -31,9 +31,19 @@ type DeviceModel struct {
 	// a programmed conductance g becomes g·exp(σ·N(0,1)), the standard
 	// device-variation model [21].
 	ProgramSigma float64
-	// ReadNoiseSigma is the relative Gaussian noise applied to each
-	// column current at read time.
+	// ReadNoiseSigma is the relative Gaussian noise applied at read
+	// time: to each column current (the default), or — with
+	// ReadNoisePerCell — to each selected cell's current individually.
 	ReadNoiseSigma float64
+	// ReadNoisePerCell selects the finer-grained read-noise model: one
+	// independent N(0, ReadNoiseSigma²) draw per selected cell, so a
+	// column's perturbation is Σ σ·w·g over its active cells instead of
+	// one multiplicative σ·g on the summed current. Column sums then
+	// concentrate as active-cell counts grow (variance Σw² rather than
+	// (Σw)²), matching per-device noise characterization; the default
+	// per-column model remains the pessimistic envelope the Table 5
+	// experiments use. Ignored when ReadNoiseSigma is zero.
+	ReadNoisePerCell bool
 	// StuckOnRate and StuckOffRate are the probabilities that a cell is
 	// faulty and reads as GOn or GOff regardless of programming.
 	StuckOnRate, StuckOffRate float64

@@ -1,0 +1,55 @@
+package rram
+
+import "testing"
+
+func TestReadoutParams(t *testing.T) {
+	m := DefaultDeviceModel()
+	if p := m.Readout(); !p.Ideal() || !p.Linear() {
+		t.Errorf("default device read-out %+v, want ideal and linear", p)
+	}
+
+	m.ReadNoiseSigma = 0.05
+	if p := m.Readout(); p.Ideal() || p.NoiseSigma != 0.05 || p.PerCell {
+		t.Errorf("per-column noisy read-out %+v", p)
+	}
+
+	m.ReadNoisePerCell = true
+	if p := m.Readout(); !p.PerCell {
+		t.Errorf("per-cell flag lost: %+v", m.Readout())
+	}
+
+	// PerCell without a sigma is inert: the read-out is still ideal.
+	m.ReadNoiseSigma = 0
+	if p := m.Readout(); p.PerCell || !p.Ideal() {
+		t.Errorf("sigma-free per-cell read-out %+v, want ideal", p)
+	}
+
+	m.IRDropAlpha = 0.1
+	if p := m.Readout(); p.Ideal() || !p.Linear() || p.IRAlpha != 0.1 {
+		t.Errorf("IR-drop read-out %+v", p)
+	}
+
+	m.IVNonlinearity = 2
+	if p := m.Readout(); p.Linear() || p.IVUnits != 2 {
+		t.Errorf("nonlinear read-out %+v", p)
+	}
+}
+
+func TestLevelTableMatchesLevelConductance(t *testing.T) {
+	for _, bits := range []int{1, 2, 4, 6, 8} {
+		m := IdealDeviceModel(bits)
+		tab := m.LevelTable()
+		if len(tab) != m.Levels() {
+			t.Fatalf("bits=%d: table has %d entries, want %d", bits, len(tab), m.Levels())
+		}
+		for lvl, g := range tab {
+			if g != m.LevelConductance(lvl) {
+				t.Errorf("bits=%d level %d: table %v, method %v", bits, lvl, g, m.LevelConductance(lvl))
+			}
+		}
+		if tab[0] != m.GOff || tab[len(tab)-1] != m.GOn {
+			t.Errorf("bits=%d: table endpoints [%v,%v], want [%v,%v]",
+				bits, tab[0], tab[len(tab)-1], m.GOff, m.GOn)
+		}
+	}
+}

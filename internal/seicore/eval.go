@@ -114,6 +114,19 @@ type SEIDesign struct {
 	// counters account for what was skipped. Off by default
 	// (SetBounded) so existing counter-parity goldens are unaffected.
 	bounded bool
+	// noisyPacked caches the packed non-ideal path's eligibility
+	// (fastnoisy.go): a linear but non-exact read-out — read noise
+	// (per-column or per-cell) and/or IR drop, no I-V nonlinearity.
+	// Mutually exclusive with fast (an ideal design takes the ideal
+	// path). Set by initFastPath.
+	noisyPacked bool
+	// approxNoise enables the aggregated-variance noise approximation
+	// on the packed path (SetNoiseApprox); boundedApprox records that
+	// SetBoundedApprox turned the float path's approximate bounded walk
+	// on, which forces noisy predicts back onto the float path — see
+	// Predict for the precedence between the two.
+	approxNoise   bool
+	boundedApprox bool
 }
 
 // initFastPath caches the fast-path decision and creates the scratch
@@ -123,11 +136,15 @@ type SEIDesign struct {
 // bounded walk itself stays off until SetBounded/SetBoundedApprox.
 func (d *SEIDesign) initFastPath() {
 	d.fast = d.fastEligible()
-	if d.fast {
+	d.noisyPacked = !d.fast && d.noisyEligible()
+	if d.fast || d.noisyPacked {
 		d.scratch = &sync.Pool{}
+	}
+	if d.fast {
 		d.sliced = &sync.Pool{}
 	}
 	d.initBounds()
+	d.initNoiseTables()
 }
 
 // SetFastPath enables (the default for eligible designs) or disables
@@ -159,8 +176,66 @@ func (d *SEIDesign) Bounded() bool { return d.bounded }
 // paths (use SetBounded for those). Not safe to call concurrently with
 // evaluation.
 func (d *SEIDesign) SetBoundedApprox(on bool) {
+	d.boundedApprox = on
 	for _, l := range d.Convs {
 		l.approx = on
+	}
+}
+
+// SetNoiseApprox enables the aggregated-variance noise approximation
+// on the packed non-ideal path (DESIGN.md §17): layers with per-cell
+// read noise draw one Gaussian per column per block, scaled by the
+// summed per-cell variance, instead of one per active cell. The
+// per-column draw distribution is identical to the exact pass (pinned
+// by noise_test.go's KS harness) but the draws are not bit-identical
+// to it — an explicit Monte Carlo throughput trade; cmd/seisim's
+// noisy study measures the accuracy delta. Layers with per-column
+// noise are unaffected (their exact pass is already one draw per
+// column). Precedence over SetBoundedApprox: when both are on, the
+// noise approximation wins and predicts stay on the packed path (the
+// float path's approximate bounded walk never runs). Not safe to call
+// concurrently with evaluation.
+func (d *SEIDesign) SetNoiseApprox(on bool) { d.approxNoise = on }
+
+// NoiseApprox reports whether the aggregated-variance approximation
+// is enabled.
+func (d *SEIDesign) NoiseApprox() bool { return d.approxNoise }
+
+// noisyEligible reports whether every stage reads out linearly —
+// read noise and IR drop commute with the packed column sums
+// (fastnoisy.go applies them as separate passes over the bit-summed
+// ideal values), the sinh I-V transfer on the analog input stage does
+// not.
+func (d *SEIDesign) noisyEligible() bool {
+	if !d.Input.model.Readout().Linear() {
+		return false
+	}
+	for _, l := range d.Convs {
+		if !l.model.Readout().Linear() {
+			return false
+		}
+	}
+	return d.FC.model.Readout().Linear()
+}
+
+// initNoiseTables builds the squared-weight variance tables the
+// aggregated-noise approximation folds into the packed sum — only for
+// layers whose device model draws per-cell noise (the approximation
+// is an identity elsewhere). Tables are functions of the effective
+// weights, so they are derived at build/load time and never persisted.
+func (d *SEIDesign) initNoiseTables() {
+	for _, l := range d.Convs {
+		if l.cells == nil {
+			continue
+		}
+		for bi := range l.blocks {
+			l.blocks[bi].initSquares()
+		}
+	}
+	if d.FC.cells != nil {
+		for bi := range d.FC.blocks {
+			d.FC.blocks[bi].initSquares()
+		}
 	}
 }
 
@@ -284,7 +359,7 @@ func (d *SEIDesign) calibrate(train *mnist.Dataset, cfg SEIBuildConfig) error {
 		}
 		for _, p := range par.MapChunksRec(cfg.Obs, cfg.Workers, len(samples), par.DefaultChunkSize,
 			func(c par.Chunk) onesPartial {
-				eval := layer.evalClone(layerRNG(calibSeedBase, c.Index))
+				eval := layer.evalClone(layerSeed(calibSeedBase, c.Index))
 				p := onesPartial{perBlock: make([]float64, layer.K)}
 				for i := c.Lo; i < c.Hi; i++ {
 					_, _, ones := eval.BlockSums(samples[i].In)
@@ -398,22 +473,44 @@ func (d *SEIDesign) EvalConv(l int, in []float64) []bool {
 func (d *SEIDesign) EvalFC(in []float64) []float64 { return d.FC.Eval(in) }
 
 // Predict classifies one image through the SEI hardware simulation.
-// This is the fast path's single dispatch point: ideal-analog designs
-// (no read noise, IR drop or I-V nonlinearity — the Table 4/5 default)
-// run the bit-packed, allocation-free path of fast.go; noisy/nonlinear
-// designs keep the float path. Both produce bit-identical labels and
-// hardware-counter totals; the scratch pool hands each goroutine its
-// own arena, so a shared noise-free design stays safe under the
-// parallel engine.
+// This is the single dispatch point for every inference path:
+//
+//   - Ideal-analog designs (no read noise, IR drop or I-V
+//     nonlinearity — the Table 4/5 default) run the bit-packed,
+//     allocation-free path of fast.go.
+//   - Linearly non-ideal designs (read noise and/or IR drop, no I-V
+//     nonlinearity) run the packed non-ideal path of fastnoisy.go —
+//     bit-identical to the float path in labels, counters and RNG
+//     consumption — unless SetBoundedApprox demanded the float path's
+//     approximate bounded walk; SetNoiseApprox overrides that demand
+//     (the two approximations' precedence, pinned by noise_test.go).
+//   - Everything else (sinh I-V designs; boundedApprox without
+//     noiseApprox) keeps the float path.
+//
+// The scratch pool hands each goroutine its own arena, so a shared
+// noise-free design stays safe under the parallel engine; noisy
+// designs additionally carry per-layer noise streams and go through
+// CloneForEval's per-chunk clones, exactly as on the float path.
 func (d *SEIDesign) Predict(img *tensor.Tensor) int {
-	if d.fast && !d.fastOff && d.scratch != nil {
-		s, _ := d.scratch.Get().(*seiScratch)
-		if s == nil {
-			s = newSEIScratch(d)
+	if !d.fastOff && d.scratch != nil {
+		if d.fast {
+			s, _ := d.scratch.Get().(*seiScratch)
+			if s == nil {
+				s = newSEIScratch(d)
+			}
+			label := d.predictFast(img, s)
+			d.scratch.Put(s)
+			return label
 		}
-		label := d.predictFast(img, s)
-		d.scratch.Put(s)
-		return label
+		if d.noisyPacked && (d.approxNoise || !d.boundedApprox) {
+			s, _ := d.scratch.Get().(*seiScratch)
+			if s == nil {
+				s = newSEIScratch(d)
+			}
+			label := d.predictFastNoisy(img, s)
+			d.scratch.Put(s)
+			return label
+		}
 	}
 	return d.Q.PredictWith(d, img)
 }

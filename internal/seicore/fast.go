@@ -74,9 +74,12 @@ type seiScratch struct {
 	cur, next *bitvec.Vec // packed activation maps, ping-pong
 	win       *bitvec.Vec // packed receptive-field window
 	field     []float64   // stage-0 float im2col window (DAC-driven)
+	strip     []float64   // stage-0 output-row column sums (fastnoisy.go)
 	col       []float64   // per-block column sums
 	fired     []int       // per-column fired-block counts
 	scores    []float64   // FC classifier scores
+	gauss     []float64   // noise-draw block (fastnoisy.go)
+	varsum    []float64   // aggregated-noise per-column variances
 }
 
 // newSEIScratch sizes an arena for d.
@@ -101,9 +104,12 @@ func newSEIScratch(d *SEIDesign) *seiScratch {
 	s.next = bitvec.New(maxMap)
 	s.win = bitvec.New(maxFan)
 	s.field = make([]float64, s.geom[0].fan)
+	s.strip = make([]float64, s.geom[0].outW*s.geom[0].filters)
 	s.col = make([]float64, maxM)
 	s.fired = make([]int, maxM)
 	s.scores = make([]float64, d.FC.M)
+	s.gauss = make([]float64, maxM)
+	s.varsum = make([]float64, maxM)
 	return s
 }
 
@@ -113,7 +119,7 @@ func newSEIScratch(d *SEIDesign) *seiScratch {
 // baked into the effective weights and do not disqualify the fast
 // path.
 func idealAnalog(m rram.DeviceModel) bool {
-	return m.ReadNoiseSigma == 0 && m.IRDropAlpha == 0 && m.IVNonlinearity == 0
+	return m.Readout().Ideal()
 }
 
 // fastEligible reports whether every stage of the design reads out

@@ -1,0 +1,369 @@
+package seicore
+
+// The packed non-ideal inference path. PR 4's fast path, PR 6's
+// sliced path and PR 9's bounded path all gate on ideal-analog device
+// models, so the evaluations that exercise the paper's robustness
+// story — read noise, conductance variation, stuck-at faults (Table
+// 5, examples/device_faults) — were stuck on the float path. The
+// observation that unsticks them: for a *linear* read-out every
+// non-ideality the repo models is a separate pass over the ideal
+// column sums —
+//
+//   - conductance variation, stuck faults and level quantization are
+//     programming-time effects already folded into the effective
+//     weight tables (matrix.go), so sumsBits computes them for free;
+//   - IR drop is a per-column scale determined by the active-row
+//     count, which sumsBits already returns;
+//   - per-column read noise is one multiplicative Gaussian per column
+//     current, drawn from the layer's RNG exactly as the float path
+//     draws it;
+//   - per-cell read noise is a second walk over the same active rows
+//     in the same ascending order (noise.go), drawing one length-M
+//     block per row from the counter-indexed vecf kernel — the same
+//     draws, in the same order, as the float path's walk.
+//
+// So the packed path computes the binary sums with the existing
+// popcount/bitvec machinery and applies the non-ideality afterwards,
+// and is bit-identical to the float path in labels, hardware-counter
+// totals and RNG consumption (sei_noise_draws) at every worker count
+// — pinned end to end by determinism_test.go. Only the sinh I-V
+// transfer breaks the separation (it distorts the analog input stage
+// before the product), so those designs keep the float path; see
+// SEIDesign.Predict for the dispatch and SetNoiseApprox /
+// SetBoundedApprox for the two opt-in approximations layered on top.
+
+import (
+	"math/bits"
+
+	"sei/internal/bitvec"
+	"sei/internal/rram"
+	"sei/internal/tensor"
+)
+
+// applyAnalogBits is applyAnalog on a packed input window: the same
+// effect order (per-cell noise, IR scale, per-column noise), the same
+// draws. agg selects the aggregated-variance approximation for the
+// per-cell pass; vs is its variance scratch.
+func (l *SEIConvLayer) applyAnalogBits(b *seiBlock, in *bitvec.Vec, sums []float64, ones int, g, vs []float64, agg bool) {
+	if l.cells != nil {
+		if agg {
+			l.hw.NoiseDraws(int64(cellNoiseAggregated(l.cells, l.model.ReadNoiseSigma, b, in, sums, g, vs)))
+		} else {
+			l.hw.NoiseDraws(int64(cellNoiseBits(l.cells, l.model.ReadNoiseSigma, b, in, sums, g)))
+		}
+	}
+	if a := l.model.IRDropAlpha; a > 0 {
+		scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
+		for c := range sums {
+			sums[c] *= scale
+		}
+	}
+	if l.noise != nil {
+		for c := range sums {
+			sums[c] *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
+		}
+		l.hw.NoiseDraws(int64(len(sums)))
+	}
+}
+
+// wordWindowEligible reports whether a conv layer's noisy evaluation
+// can run on a single-word window: the receptive field fits in 64
+// bits and every block holds a contiguous ascending input range, so
+// block-local rows are bit positions and the row walk is a
+// TrailingZeros loop. Per-cell noise keeps the bitvec window (its
+// draw walk consumes one).
+func (l *SEIConvLayer) wordWindowEligible() bool {
+	if l.N > 64 || l.cells != nil {
+		return false
+	}
+	for bi := range l.blocks {
+		if !l.blocks[bi].contig {
+			return false
+		}
+	}
+	return true
+}
+
+// gatherWindowWord packs one receptive-field window (fan ≤ 64) into a
+// single machine word, in gatherBitWindow's bit order: kernel-row
+// segments of the map, concatenated channel-major.
+func gatherWindowWord(in *bitvec.Vec, g *stageGeom, oy, ox int) uint64 {
+	words := in.Words()
+	var win uint64
+	di := 0
+	for ch := 0; ch < g.inC; ch++ {
+		base := ch * g.inH * g.inW
+		for ky := 0; ky < g.kh; ky++ {
+			src := base + (oy*g.stride+ky)*g.inW + ox*g.stride
+			off := uint(src) & 63
+			w := words[src>>6] >> off
+			if rem := 64 - int(off); rem < g.kw {
+				w |= words[(src>>6)+1] << uint(rem)
+			}
+			win |= (w & (1<<uint(g.kw) - 1)) << uint(di)
+			di += g.kw
+		}
+	}
+	return win
+}
+
+// evalNoisyCountsWord is evalNoisyCounts over a single-word window:
+// each contiguous block selects its rows by mask and walks set bits
+// lowest-first — the same ascending local order, sums, draws and
+// counters as the bitvec walk, with no window blit and no second
+// pass.
+func (l *SEIConvLayer) evalNoisyCountsWord(win uint64, fired []int, col, g, vs []float64, agg bool) {
+	for c := range fired {
+		fired[c] = 0
+	}
+	m := len(col)
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		w := win >> uint(b.inputs[0])
+		if n := len(b.inputs); n < 64 {
+			w &= 1<<uint(n) - 1
+		}
+		for c := range col {
+			col[c] = 0
+		}
+		data := b.eff.Data()
+		ones := 0
+		w0sum := 0.0
+		for bs := w; bs != 0; bs &= bs - 1 {
+			local := bits.TrailingZeros64(bs)
+			ones++
+			row := data[local*m : (local+1)*m]
+			for c, v := range row {
+				col[c] += v
+			}
+			if b.w0 != nil {
+				w0sum += b.w0[local]
+			}
+		}
+		l.hw.ActiveInputs(int64(ones))
+		l.applyAnalogBits(b, nil, col, ones, g, vs, agg)
+		ref := l.BaseThr[bi] + l.Gamma*(float64(ones)-l.OnesMean[bi]) + w0sum
+		for c, s := range col {
+			if s > ref {
+				fired[c]++
+			}
+		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.SACompares(int64(l.K * l.M))
+		h.ColumnActivations(int64(l.K * l.M))
+	}
+}
+
+// evalNoisyCounts is the packed twin of the float Eval's non-approx
+// body: bit-summed blocks, the non-ideality applied per block, the
+// same sense-amp compare, hardware counters recorded at the same
+// logical events.
+func (l *SEIConvLayer) evalNoisyCounts(in *bitvec.Vec, fired []int, col, g, vs []float64, agg bool) {
+	for c := range fired {
+		fired[c] = 0
+	}
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		w0sum, ones := b.sumsBits(in, col)
+		l.hw.ActiveInputs(int64(ones))
+		l.applyAnalogBits(b, in, col, ones, g, vs, agg)
+		ref := l.BaseThr[bi] + l.Gamma*(float64(ones)-l.OnesMean[bi]) + w0sum
+		for c, s := range col {
+			if s > ref {
+				fired[c]++
+			}
+		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.SACompares(int64(l.K * l.M))
+		h.ColumnActivations(int64(l.K * l.M))
+	}
+}
+
+// evalNoisyInto is the packed twin of the FC Eval: bias copy, block
+// order, effect order and the `s − w0sum` accumulation all match, so
+// scores are bit-identical.
+func (l *SEIFCLayer) evalNoisyInto(in *bitvec.Vec, out, col, g, vs []float64, agg bool) {
+	copy(out, l.Bias)
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		w0sum, ones := b.sumsBits(in, col)
+		l.hw.ActiveInputs(int64(ones))
+		w0sum = l.applyAnalogFCBits(b, in, col, w0sum, ones, g, vs, agg)
+		for c, s := range col {
+			out[c] += s - w0sum
+		}
+	}
+	if h := l.hw; h != nil {
+		h.MVM(int64(l.K))
+		h.ColumnActivations(int64(l.K * l.M))
+	}
+}
+
+// applyAnalogFCBits is applyAnalogFC on a packed input window.
+func (l *SEIFCLayer) applyAnalogFCBits(b *seiBlock, in *bitvec.Vec, main []float64, w0sum float64, ones int, g, vs []float64, agg bool) float64 {
+	if l.cells != nil {
+		if agg {
+			l.hw.NoiseDraws(int64(cellNoiseAggregated(l.cells, l.model.ReadNoiseSigma, b, in, main, g, vs)))
+		} else {
+			l.hw.NoiseDraws(int64(cellNoiseBits(l.cells, l.model.ReadNoiseSigma, b, in, main, g)))
+		}
+	}
+	if a := l.model.IRDropAlpha; a > 0 {
+		scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
+		for c := range main {
+			main[c] *= scale
+		}
+		w0sum *= scale
+	}
+	if l.noise != nil {
+		for c := range main {
+			main[c] *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
+		}
+		l.hw.NoiseDraws(int64(len(main)))
+	}
+	return w0sum
+}
+
+// predictFastNoisy classifies one image on the packed non-ideal path.
+// The caller owns s for the duration of the call. Structure mirrors
+// predictFast; the only differences are the noisy layer kernels.
+func (d *SEIDesign) predictFastNoisy(img *tensor.Tensor, s *seiScratch) int {
+	q := d.Q
+	agg := d.approxNoise
+
+	// Stage 0 keeps the DAC+ADC organization: float image windows
+	// through the merged input layer — with its read noise drawn
+	// exactly as the float path draws it — binarized by the stage
+	// threshold, pooled into the first packed map. With per-column
+	// noise and no instrumentation (the Monte Carlo campaign
+	// configuration) the windows are evaluated one output row at a
+	// time: each image row is scanned once per (oy, ky) and its
+	// nonzero pixels scattered into the strip of per-window column
+	// sums, so a pixel is read kh times instead of kh·kw times. For a
+	// fixed window ox at stride 1, ascending pixel index means
+	// ascending kernel column, so every window still accumulates its
+	// contributions in exactly MatVecTInto's (ch, ky, kx) skip-zero
+	// order and the sums stay bit-identical; the noise pass then walks
+	// the strip in window order, preserving the RNG stream. Otherwise
+	// the windows go through the same gather + evalNoisyInto as
+	// before, which also records counters and feeds the per-cell walk
+	// its input values.
+	g := &s.geom[0]
+	out := s.cur
+	out.Reset(g.filters * g.pooledH * g.pooledW)
+	thr := q.Thresholds[0]
+	col := s.col[:g.filters]
+	data := img.Data()
+	if in := d.Input; in.cells == nil && in.hw == nil && g.stride == 1 {
+		eff, m := in.eff.Data(), in.M
+		sigma, rng := in.model.ReadNoiseSigma, in.readNoise
+		strip := s.strip[:g.outW*m]
+		for oy := 0; oy < g.outH; oy++ {
+			for i := range strip {
+				strip[i] = 0
+			}
+			for ch := 0; ch < g.inC; ch++ {
+				base := ch * g.inH * g.inW
+				for ky := 0; ky < g.kh; ky++ {
+					row := data[base+(oy+ky)*g.inW : base+(oy+ky+1)*g.inW]
+					kbase := (ch*g.kh + ky) * g.kw
+					for ix, x := range row {
+						if x == 0 {
+							continue
+						}
+						lo := ix - g.kw + 1
+						if lo < 0 {
+							lo = 0
+						}
+						hi := ix
+						if hi >= g.outW {
+							hi = g.outW - 1
+						}
+						for ox := lo; ox <= hi; ox++ {
+							w := eff[(kbase+ix-ox)*m : (kbase+ix-ox+1)*m]
+							dst := strip[ox*m : ox*m+m]
+							for j, v := range w {
+								dst[j] += v * x
+							}
+						}
+					}
+				}
+			}
+			for ox := 0; ox < g.outW; ox++ {
+				cw := strip[ox*m : ox*m+m]
+				if rng != nil {
+					for j := range cw {
+						cw[j] *= 1 + sigma*rng.NormFloat64()
+					}
+				}
+				for k, v := range cw {
+					if v > thr {
+						poolSet(out, g, k, oy, ox)
+					}
+				}
+			}
+		}
+	} else {
+		for oy := 0; oy < g.outH; oy++ {
+			for ox := 0; ox < g.outW; ox++ {
+				gatherFloatWindow(data, g, oy, ox, s.field)
+				d.Input.evalNoisyInto(s.field, col, s.gauss)
+				for k, v := range col {
+					if v > thr {
+						poolSet(out, g, k, oy, ox)
+					}
+				}
+			}
+		}
+	}
+	if g.pool > 1 {
+		q.CountORPool(int64(g.filters * g.pooledH * g.pooledW))
+	}
+
+	// Deeper conv stages: packed windows in, bit sums plus the layer's
+	// non-ideality passes, SA threshold counts out, OR-fused pooling.
+	for l := 1; l < len(q.Convs); l++ {
+		layer := d.Convs[l-1]
+		g := &s.geom[l]
+		in := s.cur
+		out := s.next
+		out.Reset(g.filters * g.pooledH * g.pooledW)
+		s.win.Reset(g.fan)
+		fired := s.fired[:layer.M]
+		col := s.col[:layer.M]
+		word := layer.wordWindowEligible()
+		for oy := 0; oy < g.outH; oy++ {
+			for ox := 0; ox < g.outW; ox++ {
+				if word {
+					layer.evalNoisyCountsWord(gatherWindowWord(in, g, oy, ox), fired, col, s.gauss, s.varsum, agg)
+				} else {
+					gatherBitWindow(in, g, oy, ox, s.win)
+					layer.evalNoisyCounts(s.win, fired, col, s.gauss, s.varsum, agg)
+				}
+				for k, f := range fired {
+					if f >= layer.DigitalThreshold {
+						poolSet(out, g, k, oy, ox)
+					}
+				}
+			}
+		}
+		if g.pool > 1 {
+			q.CountORPool(int64(g.filters * g.pooledH * g.pooledW))
+		}
+		s.cur, s.next = out, in
+	}
+
+	// FC stage: the flattened final map is already the packed input.
+	d.FC.evalNoisyInto(s.cur, s.scores, s.col[:d.FC.M], s.gauss, s.varsum, agg)
+	best, bi := s.scores[0], 0
+	for i, v := range s.scores {
+		if v > best { // strict >: first maximum wins, as tensor.ArgMax
+			best, bi = v, i
+		}
+	}
+	return bi
+}

@@ -205,7 +205,11 @@ func LoadDesign(r io.Reader, seed int64) (*SEIDesign, error) {
 	}
 	rngIdx := 0
 	if snap.Input.Model.ReadNoiseSigma > 0 {
-		d.Input.readNoise = layerRNG(seed, rngIdx)
+		if snap.Input.Model.ReadNoisePerCell {
+			d.Input.cells = newNoiseStream(layerSeed(seed, rngIdx))
+		} else {
+			d.Input.readNoise = layerRNG(seed, rngIdx)
+		}
 	}
 	rngIdx++
 	for i, ls := range snap.Convs {
@@ -227,7 +231,11 @@ func LoadDesign(r io.Reader, seed int64) (*SEIDesign, error) {
 			DigitalThreshold: ls.DigitalThreshold,
 		}
 		if ls.Model.ReadNoiseSigma > 0 {
-			l.noise = layerRNG(seed, rngIdx+i)
+			if ls.Model.ReadNoisePerCell {
+				l.cells = newNoiseStream(layerSeed(seed, rngIdx+i))
+			} else {
+				l.noise = layerRNG(seed, rngIdx+i)
+			}
 		}
 		d.Convs = append(d.Convs, l)
 	}
@@ -246,7 +254,11 @@ func LoadDesign(r io.Reader, seed int64) (*SEIDesign, error) {
 		Bias:   snap.FC.Bias,
 	}
 	if snap.FC.Model.ReadNoiseSigma > 0 {
-		d.FC.noise = layerRNG(seed, rngIdx)
+		if snap.FC.Model.ReadNoisePerCell {
+			d.FC.cells = newNoiseStream(layerSeed(seed, rngIdx))
+		} else {
+			d.FC.noise = layerRNG(seed, rngIdx)
+		}
 	}
 	// Snapshots store only programmed state; re-derive the fast-path
 	// eligibility and scratch arena so a loaded design predicts on the

@@ -20,9 +20,14 @@ import (
 type MergedLayer struct {
 	N, M int
 
-	eff       *tensor.Tensor // [N, M] effective real weights
-	model     rram.DeviceModel
+	eff   *tensor.Tensor // [N, M] effective real weights
+	model rram.DeviceModel
+	// readNoise/cells: per-column read-noise RNG or per-cell draw
+	// stream (see SEIConvLayer); at most one is non-nil. The DAC-driven
+	// input stage carries analog values, so per-cell noise scales with
+	// the driven input level (σ·x·w·g per cell).
 	readNoise *rand.Rand
+	cells     *noiseStream
 	hw        *obs.HW     // hardware-event counters; nil = not instrumented
 	skip      *obs.SkipHW // bounded-mode skip counters (stage 0 pool-crop skips)
 }
@@ -37,7 +42,11 @@ func NewMergedLayer(w *tensor.Tensor, model rram.DeviceModel, rng *rand.Rand) (*
 	}
 	l := &MergedLayer{N: w.Dim(0), M: w.Dim(1), eff: eff, model: model}
 	if model.ReadNoiseSigma > 0 {
-		l.readNoise = rng
+		if model.ReadNoisePerCell {
+			l.cells = newNoiseStream(int64(rng.Uint64()))
+		} else {
+			l.readNoise = rng
+		}
 	}
 	return l, nil
 }
@@ -71,12 +80,43 @@ func (l *MergedLayer) Eval(in []float64) []float64 {
 		in = nv
 	}
 	out := tensor.MatVecT(l.eff, in)
+	l.applyReadNoise(in, out, nil)
+	return out
+}
+
+// applyReadNoise perturbs one evaluation's outputs with the model's
+// read noise: per-cell draws over the active rows in ascending order
+// (noise.go), or the original per-column multiplicative draws. g is
+// the per-cell draw scratch (len ≥ M); nil lets the float path
+// allocate one on demand.
+func (l *MergedLayer) applyReadNoise(in, out, g []float64) {
+	if l.cells != nil {
+		if g == nil {
+			g = make([]float64, l.M)
+		}
+		sigma := l.model.ReadNoiseSigma
+		data := l.eff.Data()
+		draws := 0
+		for j, x := range in {
+			if x == 0 {
+				continue
+			}
+			l.cells.block(g[:l.M])
+			draws += l.M
+			row := data[j*l.M : (j+1)*l.M]
+			for c, v := range row {
+				out[c] += sigma * x * v * g[c]
+			}
+		}
+		l.hw.NoiseDraws(int64(draws))
+		return
+	}
 	if l.readNoise != nil {
 		for k := range out {
 			out[k] *= 1 + l.model.ReadNoiseSigma*l.readNoise.NormFloat64()
 		}
+		l.hw.NoiseDraws(int64(len(out)))
 	}
-	return out
 }
 
 // evalIdealInto is the allocation-free variant of Eval for the
@@ -101,6 +141,29 @@ func (l *MergedLayer) evalIdealInto(in, out []float64) int {
 	}
 	tensor.MatVecTInto(out, l.eff, in)
 	return ones
+}
+
+// evalNoisyInto is the allocation-free variant of Eval for linear but
+// non-ideal read-out (read noise and/or IR-free merged stages —
+// guaranteed by the packed noisy dispatch, which excludes I-V
+// nonlinearity): MatVecTInto produces the bit-identical ideal product,
+// then applyReadNoise draws exactly the draws Eval draws, in the same
+// order, from the caller's scratch g. Hardware counters are recorded
+// exactly as Eval records them.
+func (l *MergedLayer) evalNoisyInto(in, out, g []float64) {
+	if h := l.hw; h != nil {
+		ones := 0
+		for _, x := range in {
+			if x != 0 {
+				ones++
+			}
+		}
+		h.MVM(1)
+		h.ColumnActivations(int64(l.M))
+		h.ActiveInputs(int64(ones))
+	}
+	tensor.MatVecTInto(out, l.eff, in)
+	l.applyReadNoise(in, out, g)
 }
 
 // EffectiveWeights exposes the programmed effective matrix for

@@ -22,45 +22,71 @@ import (
 // receiver for noise-free designs.
 
 // evalClone returns a copy sharing the blocks and threshold slices but
-// owning its noise RNG. rng may be nil for the noise-free case.
-func (l *SEIConvLayer) evalClone(rng *rand.Rand) *SEIConvLayer {
+// owning its noise source, re-anchored at seed: a fresh per-column RNG
+// or a fresh per-cell stream, whichever the layer carries. Noise-free
+// layers clone with both sources nil.
+func (l *SEIConvLayer) evalClone(seed int64) *SEIConvLayer {
 	clone := *l
-	clone.noise = rng
+	if l.noise != nil {
+		clone.noise = rand.New(rand.NewSource(seed))
+	}
+	if l.cells != nil {
+		clone.cells = newNoiseStream(seed)
+	}
 	return &clone
 }
 
 // evalClone returns a copy sharing the blocks but owning its noise
-// RNG.
-func (l *SEIFCLayer) evalClone(rng *rand.Rand) *SEIFCLayer {
+// source (see SEIConvLayer.evalClone).
+func (l *SEIFCLayer) evalClone(seed int64) *SEIFCLayer {
 	clone := *l
-	clone.noise = rng
+	if l.noise != nil {
+		clone.noise = rand.New(rand.NewSource(seed))
+	}
+	if l.cells != nil {
+		clone.cells = newNoiseStream(seed)
+	}
 	return &clone
 }
 
 // evalClone returns a copy sharing the effective weights but owning
-// its read-noise RNG.
-func (l *MergedLayer) evalClone(rng *rand.Rand) *MergedLayer {
+// its noise source (see SEIConvLayer.evalClone).
+func (l *MergedLayer) evalClone(seed int64) *MergedLayer {
 	clone := *l
-	clone.readNoise = rng
+	if l.readNoise != nil {
+		clone.readNoise = rand.New(rand.NewSource(seed))
+	}
+	if l.cells != nil {
+		clone.cells = newNoiseStream(seed)
+	}
 	return &clone
 }
 
 // noisy reports whether any layer of the design draws read noise.
 func (d *SEIDesign) noisy() bool {
-	if d.Input.readNoise != nil {
+	if d.Input.readNoise != nil || d.Input.cells != nil {
 		return true
 	}
 	for _, l := range d.Convs {
-		if l.noise != nil {
+		if l.noise != nil || l.cells != nil {
 			return true
 		}
 	}
-	return d.FC.noise != nil
+	return d.FC.noise != nil || d.FC.cells != nil
 }
 
-// layerRNG derives layer idx's RNG for one evaluation clone.
+// layerSeed derives layer idx's noise-source seed for one evaluation
+// clone. The per-column RNG built on it (rand.New(rand.NewSource)) is
+// exactly the stream the pre-per-cell code derived, so existing noisy
+// evaluations reproduce bit for bit.
+func layerSeed(seed int64, idx int) int64 {
+	return par.ChunkSeed(seed, idx)
+}
+
+// layerRNG is layerSeed materialized as a per-column RNG — the load
+// path's anchor for snapshot designs (io.go).
 func layerRNG(seed int64, idx int) *rand.Rand {
-	return rand.New(rand.NewSource(par.ChunkSeed(seed, idx)))
+	return rand.New(rand.NewSource(layerSeed(seed, idx)))
 }
 
 // CloneForEval implements nn.ParallelClassifier. Noise-free designs
@@ -73,30 +99,30 @@ func (d *SEIDesign) CloneForEval(seed int64) nn.Classifier {
 	}
 	clone := *d
 	idx := 0
-	if d.Input.readNoise != nil {
-		clone.Input = d.Input.evalClone(layerRNG(seed, idx))
+	if d.Input.readNoise != nil || d.Input.cells != nil {
+		clone.Input = d.Input.evalClone(layerSeed(seed, idx))
 	}
 	idx++
 	clone.Convs = make([]*SEIConvLayer, len(d.Convs))
 	for i, l := range d.Convs {
-		if l.noise != nil {
-			clone.Convs[i] = l.evalClone(layerRNG(seed, idx+i))
+		if l.noise != nil || l.cells != nil {
+			clone.Convs[i] = l.evalClone(layerSeed(seed, idx+i))
 		} else {
 			clone.Convs[i] = l
 		}
 	}
 	idx += len(d.Convs)
-	if d.FC.noise != nil {
-		clone.FC = d.FC.evalClone(layerRNG(seed, idx))
+	if d.FC.noise != nil || d.FC.cells != nil {
+		clone.FC = d.FC.evalClone(layerSeed(seed, idx))
 	}
 	return &clone
 }
 
 // CloneForEval implements nn.ParallelClassifier (see SEIDesign).
 func (d *MergedDesign) CloneForEval(seed int64) nn.Classifier {
-	noisy := d.FC.readNoise != nil
+	noisy := d.FC.readNoise != nil || d.FC.cells != nil
 	for _, l := range d.Stages {
-		noisy = noisy || l.readNoise != nil
+		noisy = noisy || l.readNoise != nil || l.cells != nil
 	}
 	if !noisy {
 		return d
@@ -104,23 +130,23 @@ func (d *MergedDesign) CloneForEval(seed int64) nn.Classifier {
 	clone := *d
 	clone.Stages = make([]*MergedLayer, len(d.Stages))
 	for i, l := range d.Stages {
-		if l.readNoise != nil {
-			clone.Stages[i] = l.evalClone(layerRNG(seed, i))
+		if l.readNoise != nil || l.cells != nil {
+			clone.Stages[i] = l.evalClone(layerSeed(seed, i))
 		} else {
 			clone.Stages[i] = l
 		}
 	}
-	if d.FC.readNoise != nil {
-		clone.FC = d.FC.evalClone(layerRNG(seed, len(d.Stages)))
+	if d.FC.readNoise != nil || d.FC.cells != nil {
+		clone.FC = d.FC.evalClone(layerSeed(seed, len(d.Stages)))
 	}
 	return &clone
 }
 
 // CloneForEval implements nn.ParallelClassifier (see SEIDesign).
 func (d *FloatDesign) CloneForEval(seed int64) nn.Classifier {
-	noisy := d.fc.readNoise != nil
+	noisy := d.fc.readNoise != nil || d.fc.cells != nil
 	for _, l := range d.conv {
-		noisy = noisy || l.readNoise != nil
+		noisy = noisy || l.readNoise != nil || l.cells != nil
 	}
 	if !noisy {
 		return d
@@ -128,14 +154,14 @@ func (d *FloatDesign) CloneForEval(seed int64) nn.Classifier {
 	clone := *d
 	clone.conv = make([]*MergedLayer, len(d.conv))
 	for i, l := range d.conv {
-		if l.readNoise != nil {
-			clone.conv[i] = l.evalClone(layerRNG(seed, i))
+		if l.readNoise != nil || l.cells != nil {
+			clone.conv[i] = l.evalClone(layerSeed(seed, i))
 		} else {
 			clone.conv[i] = l
 		}
 	}
-	if d.fc.readNoise != nil {
-		clone.fc = d.fc.evalClone(layerRNG(seed, len(d.conv)))
+	if d.fc.readNoise != nil || d.fc.cells != nil {
+		clone.fc = d.fc.evalClone(layerSeed(seed, len(d.conv)))
 	}
 	return &clone
 }

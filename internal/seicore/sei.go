@@ -111,6 +111,25 @@ type seiBlock struct {
 	// columns). Built by SEIDesign.initBounds or restored from a
 	// snapshot; a function of eff only.
 	bnd *colBounds
+	// sq is eff with every entry squared — the per-column variance
+	// table of the aggregated-noise approximation (noise.go). Built by
+	// initNoiseTables only for layers with per-cell read noise; a
+	// function of eff only, so never persisted.
+	sq *tensor.Tensor
+}
+
+// initSquares builds the block's squared-weight table (sq), the
+// per-column variance source of the aggregated-noise approximation.
+// Idempotent; a function of eff only.
+func (b *seiBlock) initSquares() {
+	if b.sq != nil {
+		return
+	}
+	sq := tensor.New(b.eff.Shape()...)
+	for i, v := range b.eff.Data() {
+		sq.Data()[i] = v * v
+	}
+	b.sq = sq
 }
 
 // initFast derives the fast-path metadata from the block's input list.
@@ -205,9 +224,14 @@ type SEIConvLayer struct {
 
 	blocks []seiBlock
 	model  rram.DeviceModel
-	noise  *rand.Rand
-	hw     *obs.HW     // hardware-event counters; nil = not instrumented
-	skip   *obs.SkipHW // activation-bound skip counters; nil = not instrumented
+	// noise is the per-column read-noise RNG (one multiplicative draw
+	// per column current); cells is the per-cell draw stream (one draw
+	// per selected cell, noise.go). At most one is non-nil, selected by
+	// the device model's ReadNoisePerCell flag.
+	noise *rand.Rand
+	cells *noiseStream
+	hw    *obs.HW     // hardware-event counters; nil = not instrumented
+	skip  *obs.SkipHW // activation-bound skip counters; nil = not instrumented
 	// approx enables the bounded walk on the noisy float path: bound
 	// decisions are exact for the ideal sums but approximate once read
 	// noise perturbs them, so this is opt-in (SetBoundedApprox) and
@@ -263,7 +287,11 @@ func NewSEIConvLayer(w *tensor.Tensor, thr float64, opt LayerOptions, rng *rand.
 		DigitalThreshold: (k + 2) / 2, // majority: ceil((K+1)/2)
 	}
 	if opt.Model.ReadNoiseSigma > 0 {
-		l.noise = rng
+		if opt.Model.ReadNoisePerCell {
+			l.cells = newNoiseStream(int64(rng.Uint64()))
+		} else {
+			l.noise = rng
+		}
 	}
 	for _, blockInputs := range SplitOrder(order, k) {
 		b := seiBlock{
@@ -310,24 +338,31 @@ func (l *SEIConvLayer) Eval(in []float64) []bool {
 		panic(fmt.Sprintf("seicore: SEIConvLayer input length %d, want %d", len(in), l.N))
 	}
 	fired := make([]int, l.M)
+	var g []float64
+	if l.cells != nil {
+		g = make([]float64, l.M)
+	}
 	var saCmps int64
 	for bi := range l.blocks {
 		b := &l.blocks[bi]
-		if l.approx && b.bnd != nil && b.w0 == nil && l.Gamma == 0 && l.model.IRDropAlpha == 0 {
+		if l.approx && l.cells == nil && b.bnd != nil && b.w0 == nil && l.Gamma == 0 && l.model.IRDropAlpha == 0 {
 			ref := l.BaseThr[bi]
 			main, st := b.sumsBounded(in, l.M, ref)
 			l.hw.ActiveInputs(int64(st.ones))
 			firedMask := st.fired1
+			var draws int64
 			for t := st.undecided; t != 0; t &= t - 1 {
 				c := bits.TrailingZeros64(t)
 				s := main[c]
 				if l.noise != nil {
 					s *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
+					draws++
 				}
 				if s > ref {
 					firedMask |= 1 << uint(c)
 				}
 			}
+			l.hw.NoiseDraws(draws)
 			for t := firedMask; t != 0; t &= t - 1 {
 				fired[bits.TrailingZeros64(t)]++
 			}
@@ -339,7 +374,7 @@ func (l *SEIConvLayer) Eval(in []float64) []bool {
 		}
 		main, w0sum, ones := b.sums(in, l.M)
 		l.hw.ActiveInputs(int64(ones))
-		l.applyAnalog(main, ones)
+		l.applyAnalog(b, in, main, ones, g)
 		ref := l.BaseThr[bi] + l.Gamma*(float64(ones)-l.OnesMean[bi]) + w0sum
 		for c, s := range main {
 			if s > ref {
@@ -396,10 +431,15 @@ func (l *SEIConvLayer) BlockSums(in []float64) (main [][]float64, w0 []float64, 
 	main = make([][]float64, l.K)
 	w0 = make([]float64, l.K)
 	ones = make([]int, l.K)
+	var g []float64
+	if l.cells != nil {
+		g = make([]float64, l.M)
+	}
 	for bi := range l.blocks {
-		m, w, o := l.blocks[bi].sums(in, l.M)
+		b := &l.blocks[bi]
+		m, w, o := b.sums(in, l.M)
 		l.hw.ActiveInputs(int64(o))
-		l.applyAnalog(m, o)
+		l.applyAnalog(b, in, m, o, g)
 		main[bi], w0[bi], ones[bi] = m, w, o
 	}
 	if h := l.hw; h != nil {
@@ -409,12 +449,20 @@ func (l *SEIConvLayer) BlockSums(in []float64) (main [][]float64, w0 []float64, 
 	return main, w0, ones
 }
 
-// applyAnalog applies the model's IR-drop factor and read noise to one
-// block's column sums. The sinh I-V nonlinearity does not appear here:
-// SEI inputs are 0 or full swing, and the full-swing gain is removed
-// by one-point calibration (rram.TransferCalibrated), so 1-bit layers
-// are exactly immune to it.
-func (l *SEIConvLayer) applyAnalog(sums []float64, ones int) {
+// applyAnalog applies the model's read-time effects to one block's
+// column sums. Per-cell read noise perturbs the raw cell currents
+// first (noise.go, ascending active rows — g is the caller's length-M
+// draw scratch, unused when l.cells is nil), then the IR-drop factor
+// scales the column current, then per-column read noise multiplies
+// the scaled sum (the original ordering — per-column and per-cell are
+// mutually exclusive by construction). The sinh I-V nonlinearity does
+// not appear here: SEI inputs are 0 or full swing, and the full-swing
+// gain is removed by one-point calibration (rram.TransferCalibrated),
+// so 1-bit layers are exactly immune to it.
+func (l *SEIConvLayer) applyAnalog(b *seiBlock, in []float64, sums []float64, ones int, g []float64) {
+	if l.cells != nil {
+		l.hw.NoiseDraws(int64(cellNoiseFloat(l.cells, l.model.ReadNoiseSigma, b, in, sums, g)))
+	}
 	if a := l.model.IRDropAlpha; a > 0 {
 		scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
 		for c := range sums {
@@ -425,6 +473,7 @@ func (l *SEIConvLayer) applyAnalog(sums []float64, ones int) {
 		for c := range sums {
 			sums[c] *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
 		}
+		l.hw.NoiseDraws(int64(len(sums)))
 	}
 }
 
@@ -439,9 +488,12 @@ type SEIFCLayer struct {
 
 	blocks []seiBlock
 	model  rram.DeviceModel
-	noise  *rand.Rand
-	hw     *obs.HW // hardware-event counters; nil = not instrumented
-	Bias   []float64
+	// noise/cells: per-column RNG or per-cell draw stream, as on
+	// SEIConvLayer; at most one is non-nil.
+	noise *rand.Rand
+	cells *noiseStream
+	hw    *obs.HW // hardware-event counters; nil = not instrumented
+	Bias  []float64
 }
 
 // NewSEIFCLayer maps the FC matrix w [N inputs, M classes] and bias
@@ -478,7 +530,11 @@ func NewSEIFCLayer(w *tensor.Tensor, bias []float64, opt LayerOptions, rng *rand
 		Bias:  append([]float64(nil), bias...),
 	}
 	if opt.Model.ReadNoiseSigma > 0 {
-		l.noise = rng
+		if opt.Model.ReadNoisePerCell {
+			l.cells = newNoiseStream(int64(rng.Uint64()))
+		} else {
+			l.noise = rng
+		}
 	}
 	for _, blockInputs := range SplitOrder(order, k) {
 		b := seiBlock{
@@ -503,22 +559,15 @@ func (l *SEIFCLayer) Eval(in []float64) []float64 {
 		panic(fmt.Sprintf("seicore: SEIFCLayer input length %d, want %d", len(in), l.N))
 	}
 	out := append([]float64(nil), l.Bias...)
+	var g []float64
+	if l.cells != nil {
+		g = make([]float64, l.M)
+	}
 	for bi := range l.blocks {
 		b := &l.blocks[bi]
 		main, w0sum, ones := b.sums(in, l.M)
 		l.hw.ActiveInputs(int64(ones))
-		if a := l.model.IRDropAlpha; a > 0 {
-			scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
-			for c := range main {
-				main[c] *= scale
-			}
-			w0sum *= scale
-		}
-		if l.noise != nil {
-			for c := range main {
-				main[c] *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
-			}
-		}
+		w0sum = l.applyAnalogFC(b, in, main, w0sum, ones, g)
 		for c, s := range main {
 			out[c] += s - w0sum
 		}
@@ -528,6 +577,32 @@ func (l *SEIFCLayer) Eval(in []float64) []float64 {
 		h.ColumnActivations(int64(l.K * l.M))
 	}
 	return out
+}
+
+// applyAnalogFC applies the model's read-time effects to one FC
+// block's column sums, in the same order as SEIConvLayer.applyAnalog:
+// per-cell noise on the raw sums, IR drop on main and the dynamic
+// column, per-column noise on main. Returns the (possibly IR-scaled)
+// w0 sum — the dynamic column carries no read noise in either mode,
+// matching the original per-column behaviour.
+func (l *SEIFCLayer) applyAnalogFC(b *seiBlock, in []float64, main []float64, w0sum float64, ones int, g []float64) float64 {
+	if l.cells != nil {
+		l.hw.NoiseDraws(int64(cellNoiseFloat(l.cells, l.model.ReadNoiseSigma, b, in, main, g)))
+	}
+	if a := l.model.IRDropAlpha; a > 0 {
+		scale := 1 - a*float64(ones*l.Mode.CellsPerWeightFor(l.model.Bits))/float64(rram.MaxCrossbarSize)
+		for c := range main {
+			main[c] *= scale
+		}
+		w0sum *= scale
+	}
+	if l.noise != nil {
+		for c := range main {
+			main[c] *= 1 + l.model.ReadNoiseSigma*l.noise.NormFloat64()
+		}
+		l.hw.NoiseDraws(int64(len(main)))
+	}
+	return w0sum
 }
 
 // evalFastInto is the bit-packed, allocation-free variant of Eval for

@@ -50,13 +50,18 @@ type Generation struct {
 }
 
 // Design is an immutable record of one served name: its live
-// generations (ascending, at most two — the stable one plus a canary)
-// and the canary split. Mutation happens by building a new Design and
-// swapping the registry snapshot; readers never see a torn state.
+// generations (ascending) and the canary split. The two newest
+// generations form the routing pair — the stable one plus a canary —
+// and any older entries are retained pin-only history (reachable via
+// ?generation=, never routed unpinned; see Registry.SetRetain).
+// Mutation happens by building a new Design and swapping the registry
+// snapshot; readers never see a torn state.
 type Design struct {
 	Name string
 	// Gens holds the live generations, oldest first. One entry in
-	// steady state; two while a canary is in flight.
+	// steady state; two while a canary is in flight; up to the
+	// registry's retain cap when older generations are kept for
+	// pinned rollback/comparison.
 	Gens []Generation
 	// Canary is the fraction of unpinned traffic routed to the newest
 	// generation when two are live. 1 after a full swap.
@@ -75,12 +80,15 @@ func (d *Design) Generations() []int {
 	return nums
 }
 
-// route picks the generation serving one request. pin > 0 selects that
-// exact live generation. Unpinned traffic goes to the newest
-// generation, except during a canary where a deterministic counter
-// split sends exactly the Canary fraction to the newest: request n
-// routes new iff floor(n·w) > floor((n-1)·w), so every prefix of the
-// request stream is within one request of the configured weight.
+// route picks the generation serving one request. pin > 0 selects any
+// exact live generation, including retained history. Unpinned traffic
+// goes to the newest generation, except during a canary where a
+// deterministic counter split sends exactly the Canary fraction to
+// the newest and the rest to the previous newest (retained history
+// older than the routing pair never receives unpinned traffic):
+// request n routes new iff floor(n·w) > floor((n-1)·w), so every
+// prefix of the request stream is within one request of the
+// configured weight.
 func (d *Design) route(pin int) (Generation, error) {
 	if pin > 0 {
 		for _, g := range d.Gens {
@@ -95,14 +103,15 @@ func (d *Design) route(pin int) (Generation, error) {
 	if len(d.Gens) == 1 || d.Canary >= 1 {
 		return newest, nil
 	}
+	stable := d.Gens[len(d.Gens)-2]
 	if d.Canary <= 0 {
-		return d.Gens[0], nil
+		return stable, nil
 	}
 	n := float64(d.ctr.Add(1))
 	if math.Floor(n*d.Canary) > math.Floor((n-1)*d.Canary) {
 		return newest, nil
 	}
-	return d.Gens[0], nil
+	return stable, nil
 }
 
 // snapshot is the registry's immutable name → design map. Readers load
@@ -121,9 +130,20 @@ type snapshot map[string]*Design
 // under per-name singleflight — concurrent requests for the same
 // uncached design share one decode, and a slow decode never blocks
 // cache hits.
+// DefaultRetain is a registry's generation cap per design: the
+// routing pair (stable + canary) with no pin-only history — the
+// original two-live behavior.
+const DefaultRetain = 2
+
 type Registry struct {
 	dir  string
 	seed int64
+
+	// retain caps live generations per design (≥ 2): the two newest
+	// are the routing pair, the remaining retain−2 oldest stay live
+	// for pinned requests only. Mutated under mu, read under mu by
+	// the publish path.
+	retain int
 
 	// loadFn decodes one snapshot file; swapped by tests to observe or
 	// slow cold loads.
@@ -152,8 +172,9 @@ type flightCall struct {
 // loaded designs, as in seicore.LoadDesign.
 func NewRegistry(dir string, seed int64) *Registry {
 	r := &Registry{
-		dir:  dir,
-		seed: seed,
+		dir:    dir,
+		seed:   seed,
+		retain: DefaultRetain,
 		loadFn: func(path string, seed int64) (nn.Classifier, error) {
 			return seicore.LoadDesignFile(path, seed)
 		},
@@ -177,25 +198,52 @@ func (r *Registry) swap(mutate func(snapshot)) {
 }
 
 // nextDesign builds the successor Design record for name: c becomes
-// generation prev.newest+1 (or 1), either as a full swap (single live
-// generation) or as a canary next to the previous newest. The split
-// counter is carried over so routing fractions stay exact across
-// publishes. Callers hold r.mu.
-func nextDesign(prev *Design, name string, c nn.Classifier, canary float64) *Design {
+// generation prev.newest+1 (or 1), either as a full swap (sole
+// unpinned target) or as a canary next to the previous newest. The
+// previous generations that fit the registry's pin-only history slots
+// (retain−2; none at the default two-live cap) stay live for pinned
+// requests, oldest evicted first — a canary additionally keeps the
+// previous newest as its routing partner, beyond those slots. The
+// split counter is carried over so routing fractions stay exact
+// across publishes. Callers hold r.mu.
+func nextDesign(prev *Design, name string, c nn.Classifier, canary float64, retain int) *Design {
 	d := &Design{Name: name, Canary: 1, ctr: new(atomic.Int64)}
 	num := 1
+	hist := retain - 2
+	var kept []Generation
 	if prev != nil {
 		num = prev.Gens[len(prev.Gens)-1].Number + 1
 		d.ctr = prev.ctr
+		kept = prev.Gens
+		if canary > 0 && canary < 1 {
+			d.Canary = canary
+			// Previous newest is the canary's routing partner; only
+			// the generations before it compete for history slots.
+			if n := len(kept) - 1; n > hist {
+				kept = kept[n-hist:]
+			}
+		} else if len(kept) > hist {
+			kept = kept[len(kept)-hist:]
+		}
 	}
 	g := Generation{Number: num, Classifier: c}
-	if prev != nil && canary > 0 && canary < 1 {
-		d.Gens = []Generation{prev.Gens[len(prev.Gens)-1], g}
-		d.Canary = canary
-	} else {
-		d.Gens = []Generation{g}
-	}
+	d.Gens = append(append(make([]Generation, 0, len(kept)+1), kept...), g)
 	return d
+}
+
+// SetRetain sets the registry's per-design live-generation cap: the
+// two newest generations route unpinned traffic (stable + canary) and
+// the remaining n−2 stay live for pinned requests only. n below the
+// two-live minimum is clamped to DefaultRetain. The cap applies on
+// subsequent publishes; already-live generation sets shrink as new
+// generations arrive.
+func (r *Registry) SetRetain(n int) {
+	if n < DefaultRetain {
+		n = DefaultRetain
+	}
+	r.mu.Lock()
+	r.retain = n
+	r.mu.Unlock()
 }
 
 // Register publishes a named classifier as a new full-swap generation,
@@ -215,7 +263,7 @@ func (r *Registry) Publish(name string, c nn.Classifier, weight float64) int {
 	defer r.mu.Unlock()
 	var gen int
 	r.swap(func(s snapshot) {
-		d := nextDesign(s[name], name, c, weight)
+		d := nextDesign(s[name], name, c, weight, r.retain)
 		gen = d.Gens[len(d.Gens)-1].Number
 		s[name] = d
 	})
@@ -237,10 +285,12 @@ func (r *Registry) Unregister(name string) bool {
 	return ok
 }
 
-// SetCanary adjusts the split of a two-generation design: weight >= 1
-// promotes the new generation (retires the old), weight <= 0 rolls
-// back to the old (retires the new), anything between updates the
-// fraction routed to the new one.
+// SetCanary adjusts the split of a multi-generation design: weight >=
+// 1 promotes the new generation (the previous stable drops into a
+// pin-only history slot when the retain cap has one, and is retired
+// otherwise — always retired at the default two-live cap), weight <=
+// 0 rolls back to the old (retires the new), anything between updates
+// the fraction routed to the new one.
 func (r *Registry) SetCanary(name string, weight float64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -248,16 +298,20 @@ func (r *Registry) SetCanary(name string, weight float64) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDesign, name)
 	}
-	if len(d.Gens) != 2 {
+	if len(d.Gens) < 2 {
 		return fmt.Errorf("%w: design %q has one live generation", ErrNoCanary, name)
 	}
 	next := &Design{Name: name, Canary: weight, ctr: d.ctr, Gens: d.Gens}
 	switch {
 	case weight >= 1:
-		next.Gens = d.Gens[1:]
+		kept := d.Gens[:len(d.Gens)-1]
+		if hist := r.retain - 2; len(kept) > hist {
+			kept = kept[len(kept)-hist:]
+		}
+		next.Gens = append(append(make([]Generation, 0, len(kept)+1), kept...), d.Gens[len(d.Gens)-1])
 		next.Canary = 1
 	case weight <= 0:
-		next.Gens = d.Gens[:1]
+		next.Gens = d.Gens[:len(d.Gens)-1]
 		next.Canary = 1
 	}
 	r.swap(func(s snapshot) { s[name] = next })
@@ -382,7 +436,7 @@ func (r *Registry) loadAndCommit(name, path string) (*Design, error) {
 	}
 	var d *Design
 	r.swap(func(s snapshot) {
-		d = nextDesign(nil, name, c, 1)
+		d = nextDesign(nil, name, c, 1, r.retain)
 		s[name] = d
 	})
 	return d, nil

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"sei/internal/nn"
+)
+
+// resolveLabel routes one unpinned or pinned request and returns the
+// served classifier's constant label plus the generation number.
+func resolveLabel(t *testing.T, reg *Registry, name string, pin int) (int, int) {
+	t.Helper()
+	c, gen, err := reg.Resolve(name, pin)
+	if err != nil {
+		t.Fatalf("resolve %q pin %d: %v", name, pin, err)
+	}
+	return int(c.(constClassifier)), gen
+}
+
+// TestRegistryRetainHistory pins the retained-generation semantics
+// beyond the two-live default: with SetRetain(4), full-swap publishes
+// keep the previous two generations live for pinned requests while
+// unpinned traffic always lands on the newest.
+func TestRegistryRetainHistory(t *testing.T) {
+	reg := NewRegistry("", 0)
+	reg.SetRetain(4)
+	for i := 1; i <= 5; i++ {
+		if gen := reg.Publish("d", constClassifier(i), 1); gen != i {
+			t.Fatalf("publish %d: generation %d", i, gen)
+		}
+	}
+	// retain 4 = routing pair + 2 history slots; full swaps occupy one
+	// routing slot, so 3 generations stay live: the newest plus two
+	// history entries, oldest evicted first.
+	if got := reg.Lookup("d").Generations(); len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("generations = %v, want [3 4 5]", got)
+	}
+	if label, gen := resolveLabel(t, reg, "d", 0); label != 5 || gen != 5 {
+		t.Fatalf("unpinned served %d/gen %d, want newest 5", label, gen)
+	}
+	for _, pin := range []int{3, 4, 5} {
+		if label, gen := resolveLabel(t, reg, "d", pin); label != pin || gen != pin {
+			t.Fatalf("pin %d served %d/gen %d", pin, label, gen)
+		}
+	}
+	if _, _, err := reg.Resolve("d", 2); !errors.Is(err, ErrUnknownGeneration) {
+		t.Fatalf("evicted pin 2 err = %v, want ErrUnknownGeneration", err)
+	}
+}
+
+// TestRegistryRetainCanaryRouting pins that history entries never
+// receive unpinned traffic: during a canary the split is strictly
+// between the two newest generations, and promotion keeps the
+// previous stable pinnable when a history slot is free.
+func TestRegistryRetainCanaryRouting(t *testing.T) {
+	reg := NewRegistry("", 0)
+	reg.SetRetain(4)
+	reg.Publish("d", constClassifier(1), 1)
+	reg.Publish("d", constClassifier(2), 1)
+	reg.Publish("d", constClassifier(3), 0.5)
+	if got := reg.Lookup("d").Generations(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("generations = %v, want [1 2 3]", got)
+	}
+	seen := map[int]int{}
+	for i := 0; i < 20; i++ {
+		_, gen := resolveLabel(t, reg, "d", 0)
+		seen[gen]++
+	}
+	if seen[1] != 0 || seen[2] != 10 || seen[3] != 10 {
+		t.Fatalf("unpinned split %v, want gens 2 and 3 at 10 each, history untouched", seen)
+	}
+	if err := reg.SetCanary("d", 1); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if got := reg.Lookup("d").Generations(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("promoted generations = %v, want [1 2 3] (stable drops to history)", got)
+	}
+	if label, gen := resolveLabel(t, reg, "d", 0); label != 3 || gen != 3 {
+		t.Fatalf("post-promote unpinned served %d/gen %d, want 3", label, gen)
+	}
+	if label, _ := resolveLabel(t, reg, "d", 2); label != 2 {
+		t.Fatalf("post-promote pin 2 served %d", label)
+	}
+}
+
+// TestRegistryRetainDefaultIsTwoLive is the legacy-behavior
+// regression: without SetRetain, full swaps retire the previous
+// generation entirely and promotion retires the canary's partner —
+// exactly the original two-live semantics.
+func TestRegistryRetainDefaultIsTwoLive(t *testing.T) {
+	reg := NewRegistry("", 0)
+	reg.Publish("d", constClassifier(1), 1)
+	reg.Publish("d", constClassifier(2), 1)
+	if got := reg.Lookup("d").Generations(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("generations = %v, want [2]", got)
+	}
+	if _, _, err := reg.Resolve("d", 1); !errors.Is(err, ErrUnknownGeneration) {
+		t.Fatalf("retired pin err = %v, want ErrUnknownGeneration", err)
+	}
+	reg.Publish("d", constClassifier(3), 0.5)
+	if err := reg.SetCanary("d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Lookup("d").Generations(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("promoted generations = %v, want [3]", got)
+	}
+}
+
+// TestRegistryRetainUnregister pins Unregister against retained
+// history: removal drops every live generation at once, and a
+// disk-backed design reappears as a fresh generation 1 — not as a
+// continuation of the unregistered lineage.
+func TestRegistryRetainUnregister(t *testing.T) {
+	dir := t.TempDir()
+	touchDesignFile(t, dir, "d")
+	reg := NewRegistry(dir, 0)
+	reg.SetRetain(3)
+	reg.loadFn = func(string, int64) (nn.Classifier, error) { return constClassifier(99), nil }
+	for i := 1; i <= 3; i++ {
+		reg.Publish("d", constClassifier(i), 1)
+	}
+	if got := reg.Lookup("d").Generations(); len(got) != 2 {
+		t.Fatalf("generations = %v, want 2 live before unregister", got)
+	}
+	if !reg.Unregister("d") {
+		t.Fatal("unregister reported absent")
+	}
+	if reg.Lookup("d") != nil {
+		t.Fatal("design still live after unregister")
+	}
+	// The snapshot file resurrects the name as generation 1.
+	if label, gen := resolveLabel(t, reg, "d", 0); label != 99 || gen != 1 {
+		t.Fatalf("post-unregister cold load served %d/gen %d, want 99/gen 1", label, gen)
+	}
+	if _, _, err := reg.Resolve("d", 3); !errors.Is(err, ErrUnknownGeneration) {
+		t.Fatalf("old lineage pin err = %v, want ErrUnknownGeneration", err)
+	}
+}
+
+// TestRegistryRetainReloadChain pins Reload against a raised retain
+// cap: successive full-swap reloads accumulate pinnable history, each
+// pinned generation keeps serving the classifier it was published
+// with, and lowering the cap trims on the next publish.
+func TestRegistryRetainReloadChain(t *testing.T) {
+	dir := t.TempDir()
+	touchDesignFile(t, dir, "d")
+	reg := NewRegistry(dir, 0)
+	reg.SetRetain(3)
+	calls := 0
+	reg.loadFn = func(string, int64) (nn.Classifier, error) {
+		calls++
+		return constClassifier(calls), nil
+	}
+	for want := 1; want <= 3; want++ {
+		gen, err := reg.Reload("d", 1)
+		if err != nil {
+			t.Fatalf("reload %d: %v", want, err)
+		}
+		if gen != want {
+			t.Fatalf("reload %d: generation %d", want, gen)
+		}
+	}
+	if got := reg.Lookup("d").Generations(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("generations = %v, want [2 3]", got)
+	}
+	for _, pin := range []int{2, 3} {
+		if label, _ := resolveLabel(t, reg, "d", pin); label != pin {
+			t.Fatalf("pin %d serves classifier %d; reload broke pinning", pin, label)
+		}
+	}
+	reg.SetRetain(2)
+	if gen, err := reg.Reload("d", 1); err != nil || gen != 4 {
+		t.Fatalf("reload after cap lower: gen %d err %v", gen, err)
+	}
+	if got := reg.Lookup("d").Generations(); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("generations = %v, want [4] after two-live trim", got)
+	}
+}

@@ -292,9 +292,9 @@ func (s *server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
 
 // reloadResponse answers the admin mutations.
 type reloadResponse struct {
-	Design     string  `json:"design,omitempty"`
-	Generation int     `json:"generation,omitempty"`
-	Canary     float64 `json:"canary,omitempty"`
+	Design     string   `json:"design,omitempty"`
+	Generation int      `json:"generation,omitempty"`
+	Canary     float64  `json:"canary,omitempty"`
 	Reloaded   []string `json:"reloaded,omitempty"`
 }
 

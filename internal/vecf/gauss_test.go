@@ -1,0 +1,123 @@
+package vecf
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGaussSeedStabilityAcrossBlockSizes is the satellite property
+// test: the same seed yields the same stream no matter how it is
+// sliced into blocks — scalar GaussAt, one big block, and every block
+// size a worker might use all agree bit for bit.
+func TestGaussSeedStabilityAcrossBlockSizes(t *testing.T) {
+	const n = 1024
+	for _, seed := range []uint64{0, 1, 0xDEADBEEF, ^uint64(0)} {
+		ref := make([]float64, n)
+		for i := range ref {
+			ref[i] = GaussAt(seed, uint64(i))
+		}
+		for _, block := range []int{1, 2, 3, 8, 64, 100, n} {
+			got := make([]float64, n)
+			for start := 0; start < n; start += block {
+				end := start + block
+				if end > n {
+					end = n
+				}
+				GaussBlock(seed, uint64(start), got[start:end])
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %#x block %d: draw %d = %v, scalar %v",
+						seed, block, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGaussSeedStabilityAcrossOffsets pins that a block starting
+// mid-stream reads the same values the prefix draws saw — the property
+// that lets a resumed stream (e.g. a per-chunk clone that drew k
+// values) continue exactly where a fresh walk of the whole stream
+// would be.
+func TestGaussSeedStabilityAcrossOffsets(t *testing.T) {
+	const seed, n = 42, 512
+	full := make([]float64, n)
+	GaussBlock(seed, 0, full)
+	for _, off := range []int{1, 7, 63, 64, 65, 500} {
+		tail := make([]float64, n-off)
+		GaussBlock(seed, uint64(off), tail)
+		for i, v := range tail {
+			if v != full[off+i] {
+				t.Fatalf("offset %d: draw %d = %v, want %v", off, i, v, full[off+i])
+			}
+		}
+	}
+}
+
+// TestGaussSeedsDiffer guards against a degenerate seed mix: distinct
+// seeds must give distinct streams.
+func TestGaussSeedsDiffer(t *testing.T) {
+	same := 0
+	for i := uint64(0); i < 64; i++ {
+		if GaussAt(1, i) == GaussAt(2, i) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d of 64 draws identical across seeds 1 and 2", same)
+	}
+}
+
+// TestGaussMoments checks the stream is standard normal to sampling
+// accuracy: mean ≈ 0, variance ≈ 1, symmetric tails. Deterministic
+// (fixed seed), so the tolerances cannot flake.
+func TestGaussMoments(t *testing.T) {
+	const n = 200000
+	var sum, sumSq float64
+	tails := 0
+	for i := 0; i < n; i++ {
+		g := GaussAt(7, uint64(i))
+		sum += g
+		sumSq += g * g
+		if math.Abs(g) > 1.959964 {
+			tails++
+		}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance %v, want ≈ 1", variance)
+	}
+	// P(|Z| > 1.96) = 5%; allow ±0.5% absolute.
+	if frac := float64(tails) / n; math.Abs(frac-0.05) > 0.005 {
+		t.Errorf("two-sided 5%% tail mass %v, want ≈ 0.05", frac)
+	}
+}
+
+// TestGaussInverseCDFMonotone pins the uniform→normal map: larger
+// uniforms give larger normals, and the median uniform maps to ≈ 0.
+func TestGaussInverseCDFMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for u := 0.01; u < 1; u += 0.01 {
+		g := math.Sqrt2 * math.Erfinv(2*u-1)
+		if g <= prev {
+			t.Fatalf("Φ⁻¹ not increasing at u=%v", u)
+		}
+		prev = g
+	}
+	if g := math.Sqrt2 * math.Erfinv(0); g != 0 {
+		t.Fatalf("Φ⁻¹(0.5) = %v, want 0", g)
+	}
+}
+
+func BenchmarkGaussBlock(b *testing.B) {
+	dst := make([]float64, 64)
+	b.SetBytes(64 * 8)
+	for i := 0; i < b.N; i++ {
+		GaussBlock(9, uint64(i)*64, dst)
+	}
+}
